@@ -1,0 +1,210 @@
+// Command smabench regenerates every table and figure of the paper's
+// evaluation section from this repository's implementations and prints
+// them side by side with the numbers the paper reports.
+//
+// Usage:
+//
+//	smabench                     # run everything
+//	smabench -only table2,fig4   # run a subset
+//	smabench -size 96            # scale of the functional experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sma/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smabench: ")
+	var (
+		only   = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation")
+		size   = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
+		seed   = flag.Int64("seed", 5, "scene seed for the functional experiments")
+		report = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
+	)
+	flag.Parse()
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(key string) bool { return len(want) == 0 || want[key] }
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eval.WriteReport(f, *size, *seed); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *report)
+		return
+	}
+
+	if run("table1") {
+		fmt.Println("Table 1 — Neighborhood sizes, Hurricane Frederic (512×512)")
+		for _, r := range eval.Table1() {
+			fmt.Printf("  %-22s %-10s %s\n", r.Name, r.Variable, r.Window)
+		}
+		fmt.Println()
+	}
+	if run("table2") {
+		t, err := eval.Table2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+	}
+	if run("table3") {
+		fmt.Println("Table 3 — Neighborhood sizes, GOES-9 (512×512)")
+		for _, r := range eval.Table3() {
+			fmt.Printf("  %-22s %-10s %s\n", r.Name, r.Variable, r.Window)
+		}
+		fmt.Println()
+	}
+	if run("table4") {
+		t, err := eval.Table4()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+	}
+	if run("luis") {
+		l, err := eval.Luis()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Hurricane Luis (§5) — 490 frames, continuous model")
+		fmt.Printf("  per image pair:  modeled %v   paper ≈%v\n", l.PerPairModel, l.PerPairPaper)
+		fmt.Printf("  whole sequence:  modeled %v (+ %v MPDA I/O)\n", l.TotalModel, l.SequenceIO)
+		fmt.Printf("  speedup:         modeled %.0f   paper >%.0f\n\n", l.SpeedupModel, l.SpeedupPaper)
+	}
+	if run("fig4") {
+		pts, err := eval.Figure4(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Figure 4 — time per pixel correspondence vs z-template size")
+		fmt.Printf("  %-10s %15s %15s\n", "template", "modeled (SGI)", "measured (host)")
+		for _, p := range pts {
+			fmt.Printf("  %3dx%-6d %15v %15v\n", p.Window, p.Window, p.Modeled, p.Measured)
+		}
+		fmt.Println()
+	}
+	if run("barbs") {
+		r, err := eval.WindBarbExperiment(*size, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("§5.1 — Hurricane Frederic wind-barb accuracy (scaled)")
+		fmt.Printf("  %d tracers on a %d×%d stereo scene\n", len(r.Barbs), r.Size, r.Size)
+		fmt.Printf("  barb RMSE vs reference: %.3f px   (paper: < 1 px)\n", r.RMSE)
+		fmt.Printf("  dense interior RMSE:    %.3f px\n", r.DenseRMSE)
+		fmt.Printf("  ASA disparity RMSE:     %.3f px\n", r.StereoRMSE)
+		fmt.Printf("  parallel == sequential: %v   (paper: identical results)\n\n", r.ParallelEqual)
+	}
+	if run("fig6") {
+		steps, err := eval.Figure6(*size, 4, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Figure 6 — GOES-9 thunderstorm tracking (scaled, 4 timesteps)")
+		for _, s := range steps {
+			fmt.Printf("  t=%d  RMSE=%.3f px  mean flow=(%.2f, %.2f)\n", s.T, s.RMSE, s.MeanU, s.MeanV)
+			fmt.Println(indent(s.Quiver, "    "))
+		}
+	}
+	if run("baselines") {
+		rows, err := eval.BaselineComparison(*size, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Baseline comparison — two-layer cloud deck (per-layer ground truth)")
+		fmt.Printf("  %-26s %10s %10s %10s\n", "estimator", "RMSE px", "AAE deg", "exact %")
+		for _, r := range rows {
+			fmt.Printf("  %-26s %10.3f %10.2f %9.1f%%\n", r.Name, r.RMSE, r.AAE, r.ExactPct)
+		}
+		fmt.Println()
+	}
+	if run("postproc") {
+		rows, err := eval.PostprocExperiment(*size, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("§6 extensions — motion-field post-processing (hurricane scene)")
+		for _, r := range rows {
+			fmt.Printf("  %-24s RMSE %.3f px\n", r.Name, r.RMSE)
+		}
+		fmt.Println()
+	}
+	if run("domains") {
+		fmt.Println("Application domains (paper §1: oceans, biology)")
+		if r, err := eval.EddiesExperiment(*size, *seed); err == nil {
+			fmt.Printf("  %-16s RMSE %.3f px, near-exact %.1f%%\n", r.Name, r.RMSE, r.ExactPct)
+		} else {
+			log.Fatal(err)
+		}
+		if r, err := eval.FissionExperiment(*size, *seed); err == nil {
+			fmt.Printf("  %-16s RMSE %.3f px, near-exact %.1f%% (daughter bodies)\n", r.Name, r.RMSE, r.ExactPct)
+		} else {
+			log.Fatal(err)
+		}
+		if r, err := eval.IceFloesExperiment(*size, *seed); err == nil {
+			fmt.Printf("  %-16s RMSE %.3f px, near-exact %.1f%% (floe pixels)\n", r.Name, r.RMSE, r.ExactPct)
+		} else {
+			log.Fatal(err)
+		}
+		if rows, err := eval.PlumeRobustness(*size, *seed, nil); err == nil {
+			for _, r := range rows {
+				fmt.Printf("  %-22s RMSE %.3f px, near-exact %.1f%% (plume pixels)\n", r.Name, r.RMSE, r.ExactPct)
+			}
+		} else {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if run("sweep") {
+		pts, err := eval.TemplateAccuracySweep(*size, *seed, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Template-size trade-off — accuracy vs modeled sequential cost")
+		fmt.Printf("  %-10s %12s %18s\n", "template", "barb RMSE", "SGI time/pixel")
+		for _, p := range pts {
+			fmt.Printf("  %3dx%-6d %9.3f px %18v\n", p.Window, p.Window, p.RMSE, p.PerPixel)
+		}
+		fmt.Println()
+	}
+	if run("ablation") {
+		fmt.Println("Ablation — neighborhood fetch design (§3.2/§4.2), 121×121 template at paper scale")
+		for _, r := range eval.ReadoutAblation(60) {
+			fmt.Printf("  %-42s xnet=%-9d mem=%-9d time=%v\n", r.Name, r.XNet, r.Mem, r.Time)
+		}
+		fmt.Println("\nAblation — PE memory vs segmentation (§4.3), Frederic configuration")
+		for _, r := range eval.SegmentationAblation(nil) {
+			if r.Err != "" {
+				fmt.Printf("  %6d B/PE: infeasible (%s)\n", r.MemPerPE, r.Err)
+			} else {
+				fmt.Printf("  %6d B/PE: %d segment(s), modeled total %v\n", r.MemPerPE, r.Segments, r.Total)
+			}
+		}
+	}
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pre + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

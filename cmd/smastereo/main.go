@@ -1,0 +1,70 @@
+// Command smastereo runs the Automatic Stereo Analysis (ASA) substrate on
+// a rectified PGM stereo pair, producing the dense disparity map as a PGM
+// image plus summary statistics — the cloud-top-surface stage that feeds
+// the SMA tracker in the paper's stereo pipeline.
+//
+// Usage:
+//
+//	smastereo -left l.pgm -right r.pgm -out disparity.pgm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sma/internal/grid"
+	"sma/internal/stereo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smastereo: ")
+	var (
+		leftPath  = flag.String("left", "", "left image (PGM, required)")
+		rightPath = flag.String("right", "", "right image (PGM, required)")
+		outPath   = flag.String("out", "", "write disparity as PGM (optional)")
+		levels    = flag.Int("levels", 4, "pyramid levels")
+		template  = flag.Int("template", 3, "correlation template radius")
+		search    = flag.Int("search", 3, "per-level search radius, pixels")
+		subpixel  = flag.Bool("subpixel", true, "parabolic sub-pixel refinement")
+		gain      = flag.Float64("height-gain", 0, "also report heights = gain × disparity")
+	)
+	flag.Parse()
+	if *leftPath == "" || *rightPath == "" {
+		log.Fatal("-left and -right are required")
+	}
+	left, err := grid.ReadPGMFile(*leftPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	right, err := grid.ReadPGMFile(*rightPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := stereo.Config{
+		Levels:         *levels,
+		TemplateRadius: *template,
+		SearchRadius:   *search,
+		Subpixel:       *subpixel,
+		SmoothSigma:    1.0,
+	}
+	disp, err := stereo.Estimate(left, right, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	min, max := disp.MinMax()
+	fmt.Printf("disparity %dx%d: range [%.2f, %.2f] px, mean %.3f px\n",
+		disp.W, disp.H, min, max, disp.Mean())
+	if *gain > 0 {
+		z := stereo.ToHeight(disp, float32(*gain))
+		zmin, zmax := z.MinMax()
+		fmt.Printf("heights: range [%.2f, %.2f], mean %.3f\n", zmin, zmax, z.Mean())
+	}
+	if *outPath != "" {
+		if err := disp.WritePGMFile(*outPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *outPath)
+	}
+}

@@ -1,0 +1,168 @@
+// Command smatrack runs the Semi-fluid Motion Analysis algorithm on a
+// pair of PGM images and reports the dense motion field: summary
+// statistics, an ASCII quiver rendering, and optionally the U/V components
+// as PGM images.
+//
+// Usage:
+//
+//	smatrack -i0 frame_000.pgm -i1 frame_001.pgm -nzs 3 -nzt 4 -nss 1
+//	smatrack -i0 a.pgm -i1 b.pgm -driver maspar -pe 16 -scheme raster
+//
+// With -z0/-z1 the given surface (height/disparity) maps drive the normal
+// computation, as in the paper's stereo runs; otherwise the intensity
+// images are treated as digital surfaces (the paper's monocular mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"sma/internal/core"
+	"sma/internal/eval"
+	"sma/internal/grid"
+	"sma/internal/ingest"
+	"sma/internal/maspar"
+	"sma/internal/quality"
+	"sma/internal/sequence"
+	"sma/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smatrack: ")
+	var (
+		i0Path = flag.String("i0", "", "intensity image at t (PGM, required)")
+		i1Path = flag.String("i1", "", "intensity image at t+1 (PGM, required)")
+		z0Path = flag.String("z0", "", "surface map at t (PGM, optional)")
+		z1Path = flag.String("z1", "", "surface map at t+1 (PGM, optional)")
+		ns     = flag.Int("ns", 2, "surface-fit radius (window 2·ns+1)")
+		nzs    = flag.Int("nzs", 3, "search radius")
+		nzt    = flag.Int("nzt", 4, "template radius")
+		nst    = flag.Int("nst", 2, "semi-fluid template radius")
+		nss    = flag.Int("nss", 1, "semi-fluid search radius (0 = continuous model)")
+		robust = flag.Bool("robust", false, "enable Huber-robust motion solve")
+		driver = flag.String("driver", "seq", "driver: seq|maspar")
+		pe     = flag.Int("pe", 16, "PE mesh edge for the maspar driver")
+		scheme = flag.String("scheme", "raster", "neighborhood read-out: raster|snake")
+		uOut   = flag.String("u-out", "", "write U component as PGM")
+		vOut   = flag.String("v-out", "", "write V component as PGM")
+		svgOut = flag.String("svg-out", "", "write a wind-vector SVG over the input image")
+		quiver = flag.Bool("quiver", true, "print an ASCII quiver of the flow")
+		step   = flag.Int("quiver-step", 8, "quiver sampling stride")
+		kmPx   = flag.Float64("km-per-pixel", 0, "ground sample distance; with -dt-seconds, report winds in m/s")
+		dtSec  = flag.Float64("dt-seconds", 0, "frame interval in seconds")
+	)
+	flag.Parse()
+	if *i0Path == "" || *i1Path == "" {
+		log.Fatal("-i0 and -i1 are required")
+	}
+	i0, err := readImage(*i0Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	i1, err := readImage(*i1Path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair := core.Monocular(i0, i1)
+	if *z0Path != "" || *z1Path != "" {
+		if *z0Path == "" || *z1Path == "" {
+			log.Fatal("-z0 and -z1 must be given together")
+		}
+		z0, err := readImage(*z0Path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		z1, err := readImage(*z1Path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pair = core.Pair{I0: i0, I1: i1, Z0: z0, Z1: z1}
+	}
+
+	params := core.Params{NS: *ns, NZS: *nzs, NZT: *nzt, NST: *nst, NSS: *nss}
+	opt := core.Options{Robust: *robust}
+
+	var flow *grid.VectorField
+	var epsField *grid.Grid
+	switch *driver {
+	case "seq":
+		res, err := core.TrackSequential(pair, params, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flow = res.Flow
+		epsField = res.Err
+	case "maspar":
+		fs := maspar.RasterReadout
+		if *scheme == "snake" {
+			fs = maspar.SnakeReadout
+		} else if *scheme != "raster" {
+			log.Fatalf("unknown scheme %q", *scheme)
+		}
+		m := maspar.New(maspar.ScaledConfig(*pe, *pe))
+		res, err := core.TrackMasPar(m, pair, params, opt, fs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flow = res.Flow
+		epsField = res.Err
+		fmt.Printf("modeled MP-2 stage times (%dx%d PEs, %d layers, %d segment(s)):\n",
+			*pe, *pe, res.Layers, res.Plan.Segments)
+		fmt.Printf("  surface fit: %v\n  geometric variables: %v\n  semi-fluid mapping: %v\n  hypothesis matching: %v\n  total: %v\n",
+			res.Stages.SurfaceFit, res.Stages.GeomVars, res.Stages.SemiMap,
+			res.Stages.HypMatch, res.Stages.Total())
+	default:
+		log.Fatalf("unknown driver %q", *driver)
+	}
+
+	fmt.Printf("image %dx%d, model=%s, mean |d| = %.3f px\n",
+		i0.W, i0.H, modelName(params), flow.MeanMagnitude())
+	if rep, err := quality.Assess(flow, i0, i1, epsField); err == nil {
+		fmt.Println("quality:", rep)
+	}
+	if *kmPx > 0 && *dtSec > 0 {
+		geo := sequence.Geometry{KmPerPixel: *kmPx, SecondsPerDt: *dtSec}
+		speed, _ := geo.WindField(flow)
+		min, max := speed.MinMax()
+		fmt.Printf("wind speed: %.1f–%.1f m/s (mean %.1f)\n", min, max, speed.Mean())
+	}
+	if *quiver {
+		fmt.Print(eval.Quiver(flow, *step))
+	}
+	if *uOut != "" {
+		if err := flow.U.WritePGMFile(*uOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *vOut != "" {
+		if err := flow.V.WritePGMFile(*vOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *svgOut != "" {
+		opt := viz.QuiverOptions{Step: *step, Background: i0}
+		if err := viz.WriteQuiverSVGFile(*svgOut, flow, opt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *svgOut)
+	}
+}
+
+// readImage loads a PGM or McIDAS AREA image, chosen by file extension.
+func readImage(path string) (*grid.Grid, error) {
+	if strings.HasSuffix(path, ".area") {
+		_, g, err := ingest.ReadAreaFile(path)
+		return g, err
+	}
+	return grid.ReadPGMFile(path)
+}
+
+func modelName(p core.Params) string {
+	if p.SemiFluid() {
+		return "semi-fluid"
+	}
+	return "continuous"
+}

@@ -1,0 +1,57 @@
+// Luis: the §5 dense-sequence processing mode at laptop scale — a long
+// rapid-scan hurricane sequence tracked pairwise with the continuous
+// model (as the paper did for Hurricane Luis's 490 frames), followed by
+// the wind products the paper's abstract motivates: tracer trajectories
+// through the flow fields and a physical wind-speed field from the
+// satellite geometry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"sma/internal/core"
+	"sma/internal/grid"
+	"sma/internal/sequence"
+	"sma/internal/synth"
+)
+
+func main() {
+	size := flag.Int("size", 64, "image edge length")
+	frames := flag.Int("frames", 6, "sequence length")
+	seed := flag.Int64("seed", 31, "scene seed")
+	flag.Parse()
+
+	scene := synth.Hurricane(*size, *size, *seed)
+	imgs := make([]*grid.Grid, *frames)
+	for i := range imgs {
+		imgs[i] = scene.Frame(float64(i))
+	}
+
+	// Luis used Fcont with an 11×11 template and 9×9 search; scale down.
+	p := core.Params{NS: 2, NZS: 3, NZT: 3}
+	flows, err := sequence.Track(imgs, p, core.Options{}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tracked %d pairs of a %d-frame sequence\n", len(flows), *frames)
+
+	// Follow 8 tracers through the storm.
+	seeds := synth.Barbs(imgs[0], 8, *size/8, 6)
+	paths := sequence.Trajectories(flows, seeds)
+	for i, path := range paths {
+		start := path[0]
+		end := path[len(path)-1]
+		fmt.Printf("tracer %d: (%.0f,%.0f) → (%.1f,%.1f) over %d frames\n",
+			i, start.X, start.Y, end.X, end.Y, len(path)-1)
+	}
+
+	// Physical winds: Luis rapid-scan was ~1.5-minute intervals at ~1 km
+	// resolution.
+	geo := sequence.Geometry{KmPerPixel: 1, SecondsPerDt: 90}
+	speed, _ := geo.WindField(flows[0])
+	min, max := speed.MinMax()
+	fmt.Printf("wind speed over the first pair: %.1f–%.1f m/s (mean %.1f)\n",
+		min, max, speed.Mean())
+}

@@ -1,0 +1,157 @@
+package classify
+
+import (
+	"testing"
+
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+func TestCloudMaskBimodal(t *testing.T) {
+	// Dark background (20) with a bright square (200): the mask must be
+	// exactly the square.
+	g := grid.New(32, 32)
+	g.Fill(20)
+	for y := 8; y < 24; y++ {
+		for x := 8; x < 24; x++ {
+			g.Set(x, y, 200)
+		}
+	}
+	mask := CloudMask(g)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			in := x >= 8 && x < 24 && y >= 8 && y < 24
+			if mask[y*32+x] != in {
+				t.Fatalf("mask(%d,%d) = %v, want %v", x, y, mask[y*32+x], in)
+			}
+		}
+	}
+}
+
+func TestCloudMaskConstantImage(t *testing.T) {
+	g := grid.New(8, 8)
+	g.Fill(5)
+	for _, m := range CloudMask(g) {
+		if m {
+			t.Fatal("constant image produced cloudy pixels")
+		}
+	}
+}
+
+func TestLayersSeparatesTwoDecks(t *testing.T) {
+	// Heights: half the cloudy pixels at ~2 km, half at ~8 km.
+	z := grid.New(16, 16)
+	mask := make([]bool, 256)
+	for i := range z.Data {
+		mask[i] = true
+		if i%2 == 0 {
+			z.Data[i] = 2 + float32(i%5)*0.01
+		} else {
+			z.Data[i] = 8 + float32(i%7)*0.01
+		}
+	}
+	labels, centers, err := Layers(z, mask, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) != 2 || centers[0] > centers[1] {
+		t.Fatalf("centers = %v, want two ascending", centers)
+	}
+	if centers[0] < 1.5 || centers[0] > 2.5 || centers[1] < 7.5 || centers[1] > 8.5 {
+		t.Fatalf("centers = %v, want ≈[2 8]", centers)
+	}
+	for i, l := range labels {
+		wantLayer := 0
+		if i%2 == 1 {
+			wantLayer = 1
+		}
+		if l != wantLayer {
+			t.Fatalf("pixel %d labeled %d, want %d", i, l, wantLayer)
+		}
+	}
+}
+
+func TestLayersClearPixelsUnlabeled(t *testing.T) {
+	z := grid.New(4, 4)
+	mask := make([]bool, 16)
+	mask[5] = true
+	z.Data[5] = 3
+	labels, centers, err := Layers(z, mask, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range labels {
+		if i == 5 {
+			if l < 0 {
+				t.Fatal("cloudy pixel unlabeled")
+			}
+		} else if l != -1 {
+			t.Fatalf("clear pixel %d labeled %d", i, l)
+		}
+	}
+	if len(centers) != 1 { // k reduced to the available sample count
+		t.Fatalf("centers = %v", centers)
+	}
+}
+
+func TestLayersValidation(t *testing.T) {
+	z := grid.New(4, 4)
+	if _, _, err := Layers(z, make([]bool, 16), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := Layers(z, make([]bool, 5), 2); err == nil {
+		t.Fatal("bad mask length accepted")
+	}
+}
+
+func TestLayersEmptyMask(t *testing.T) {
+	z := grid.New(4, 4)
+	labels, centers, err := Layers(z, make([]bool, 16), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centers) != 0 {
+		t.Fatalf("centers = %v for empty mask", centers)
+	}
+	for _, l := range labels {
+		if l != -1 {
+			t.Fatal("label assigned with empty mask")
+		}
+	}
+}
+
+func TestMaskFlowZeroesClearPixels(t *testing.T) {
+	f := grid.NewVectorField(4, 4)
+	f.U.Fill(3)
+	mask := make([]bool, 16)
+	mask[0] = true
+	out := MaskFlow(f, mask)
+	if u, _ := out.At(0, 0); u != 3 {
+		t.Fatal("cloudy pixel lost its flow")
+	}
+	if u, _ := out.At(1, 1); u != 0 {
+		t.Fatal("clear pixel kept its flow")
+	}
+	if u, _ := f.At(1, 1); u != 3 {
+		t.Fatal("MaskFlow mutated its input")
+	}
+}
+
+func TestCloudMaskOnMultiLayerScene(t *testing.T) {
+	// The synthetic multilayer scene's compositing makes the upper deck
+	// brighter; the Otsu mask should broadly agree with the generator's
+	// own opacity mask.
+	ml := synth.NewMultiLayer(48, 48, 13)
+	img := ml.Frame(0)
+	got := CloudMask(img)
+	want := ml.Mask(0)
+	agree := 0
+	for i := range got {
+		if got[i] == want[i] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(got)); frac < 0.8 {
+		t.Fatalf("mask agreement %.2f below 0.8", frac)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+// mirrorX flips a grid left-right.
+func mirrorX(g *grid.Grid) *grid.Grid {
+	out := grid.New(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			out.Set(x, y, g.AtUnchecked(g.W-1-x, y))
+		}
+	}
+	return out
+}
+
+// TestMirrorSymmetry: tracking a left-right mirrored scene must produce
+// the mirrored flow with negated u. This exercises the entire pipeline
+// (fitting, normals, hypothesis search) for direction biases.
+func TestMirrorSymmetry(t *testing.T) {
+	s := synth.Thunderstorm(28, 28, 57)
+	f0 := s.Frame(0)
+	f1 := s.Frame(1)
+	p := contParams()
+	res, err := TrackSequential(Monocular(f0, f1), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resM, err := TrackSequential(Monocular(mirrorX(f0), mirrorX(f1)), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare on the interior; the argmin tie-break is scan-ordered, so
+	// only assert where the original search had a strict winner (ε of the
+	// winner clearly below the zero hypothesis) — in practice textured
+	// pixels, which is most of them.
+	mismatches, checked := 0, 0
+	for y := 6; y < 22; y++ {
+		for x := 6; x < 22; x++ {
+			u, v := res.Flow.At(x, y)
+			mu, mv := resM.Flow.At(28-1-x, y)
+			checked++
+			if mu != -u || mv != v {
+				mismatches++
+			}
+		}
+	}
+	if mismatches*20 > checked {
+		t.Fatalf("mirror symmetry broken at %d/%d interior pixels", mismatches, checked)
+	}
+}
+
+// TestFlowBoundedBySearchReach: the integer flow can never exceed the
+// search radius plus the semi-fluid adjustment reach.
+func TestFlowBoundedBySearchReach(t *testing.T) {
+	f := func(seed int64) bool {
+		s := synth.Thunderstorm(20, 20, seed%100)
+		p := testParams() // NZS = 2, NSS = 1 → reach 3
+		res, err := TrackSequential(Monocular(s.Frame(0), s.Frame(1)), p, Options{})
+		if err != nil {
+			return false
+		}
+		reach := float32(p.NZS + p.NSS)
+		for i := range res.Flow.U.Data {
+			u := res.Flow.U.Data[i]
+			v := res.Flow.V.Data[i]
+			if u > reach || u < -reach || v > reach || v < -reach {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpsilonNonNegative: ε is a weighted sum of squares.
+func TestEpsilonNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g0 := grid.New(20, 20)
+	g1 := grid.New(20, 20)
+	for i := range g0.Data {
+		g0.Data[i] = rng.Float32() * 255
+		g1.Data[i] = rng.Float32() * 255
+	}
+	res, err := TrackSequential(Monocular(g0, g1), contParams(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min, _ := res.Err.MinMax(); min < 0 {
+		t.Fatalf("negative ε %v", min)
+	}
+}
+
+// TestPureNoiseStillDeterministic: even on structureless inputs the
+// tracker must produce a reproducible field (no map iteration, no
+// uninitialized state).
+func TestPureNoiseStillDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	g0 := grid.New(16, 16)
+	g1 := grid.New(16, 16)
+	for i := range g0.Data {
+		g0.Data[i] = rng.Float32()
+		g1.Data[i] = rng.Float32()
+	}
+	pair := Monocular(g0, g1)
+	a, err := TrackSequential(pair, testParams(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrackSequential(pair, testParams(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Flow.Equal(b.Flow) {
+		t.Fatal("noise tracking not deterministic")
+	}
+}
+
+// TestConstantImagePrefersZeroHypothesis: with no structure anywhere all
+// hypotheses tie and the deterministic tie-break must keep (0, 0).
+func TestConstantImagePrefersZeroHypothesis(t *testing.T) {
+	g := grid.New(16, 16)
+	g.Fill(100)
+	res, err := TrackSequential(Monocular(g, g.Clone()), testParams(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Flow.U.Data {
+		if res.Flow.U.Data[i] != 0 || res.Flow.V.Data[i] != 0 {
+			t.Fatal("constant image produced nonzero flow")
+		}
+	}
+}
+
+// TestScoreInsensitiveToGlobalHeightOffset: adding a constant to both
+// surfaces leaves slopes, normals and therefore ε unchanged.
+func TestScoreInsensitiveToGlobalHeightOffset(t *testing.T) {
+	s := synth.Hurricane(24, 24, 67)
+	z0 := s.Frame(0)
+	z1 := s.Frame(1)
+	p := contParams()
+	a, err := TrackSequential(Monocular(z0, z1), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z0b := z0.Clone()
+	z1b := z1.Clone()
+	z0b.Apply(func(v float32) float32 { return v + 500 })
+	z1b.Apply(func(v float32) float32 { return v + 500 })
+	b, err := TrackSequential(Monocular(z0b, z1b), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Flow.Equal(b.Flow) {
+		t.Fatal("global height offset changed the flow")
+	}
+}
+
+// TestTransposeSymmetry: transposing the scene swaps the flow components.
+func TestTransposeSymmetry(t *testing.T) {
+	transpose := func(g *grid.Grid) *grid.Grid {
+		out := grid.New(g.H, g.W)
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				out.Set(y, x, g.AtUnchecked(x, y))
+			}
+		}
+		return out
+	}
+	s := synth.Thunderstorm(26, 26, 69)
+	f0 := s.Frame(0)
+	f1 := s.Frame(1)
+	p := contParams()
+	res, err := TrackSequential(Monocular(f0, f1), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resT, err := TrackSequential(Monocular(transpose(f0), transpose(f1)), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatches, checked := 0, 0
+	for y := 6; y < 20; y++ {
+		for x := 6; x < 20; x++ {
+			u, v := res.Flow.At(x, y)
+			tu, tv := resT.Flow.At(y, x)
+			checked++
+			if tu != v || tv != u {
+				mismatches++
+			}
+		}
+	}
+	if mismatches*20 > checked {
+		t.Fatalf("transpose symmetry broken at %d/%d pixels", mismatches, checked)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"sma/internal/maspar"
+	"sma/internal/synth"
+)
+
+func TestMasParMatchesSequentialExactly(t *testing.T) {
+	// The paper's §4 validation: "The parallel algorithm obtained the same
+	// result as the sequential implementation."
+	s := synth.Hurricane(32, 32, 71)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	p := testParams()
+
+	seq, err := TrackSequential(pair, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := maspar.New(maspar.ScaledConfig(8, 8)) // 32×32 image → 4×4 px/PE
+	par, err := TrackMasPar(m, pair, p, Options{}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Flow.Equal(seq.Flow) {
+		t.Fatal("parallel flow differs from sequential")
+	}
+	if !par.Err.Equal(seq.Err) {
+		t.Fatal("parallel ε differs from sequential")
+	}
+}
+
+func TestMasParEquivalenceUnderSnakeReadout(t *testing.T) {
+	// The read-out scheme changes cost, never results.
+	s := synth.Thunderstorm(24, 24, 73)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	p := contParams()
+	m1 := maspar.New(maspar.ScaledConfig(8, 8))
+	m2 := maspar.New(maspar.ScaledConfig(8, 8))
+	a, err := TrackMasPar(m1, pair, p, Options{}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrackMasPar(m2, pair, p, Options{}, maspar.SnakeReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Flow.Equal(b.Flow) {
+		t.Fatal("read-out scheme changed results")
+	}
+	if m2.Cost.XNetShifts <= m1.Cost.XNetShifts {
+		t.Fatalf("snake xnet %d not above raster %d at these sizes",
+			m2.Cost.XNetShifts, m1.Cost.XNetShifts)
+	}
+}
+
+func TestMasParStageBreakdownShape(t *testing.T) {
+	// Table 2's qualitative shape: hypothesis matching dominates the
+	// total; the semi-fluid mapping is next; surface fitting and
+	// geometric variables are comparatively negligible.
+	s := synth.Hurricane(32, 32, 79)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	m := maspar.New(maspar.ScaledConfig(8, 8))
+	res, err := TrackMasPar(m, pair, testParams(), Options{}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stages
+	if st.HypMatch <= st.SemiMap {
+		t.Fatalf("hypothesis matching %v not above semi-fluid mapping %v", st.HypMatch, st.SemiMap)
+	}
+	if st.SemiMap <= st.GeomVars {
+		t.Fatalf("semi-fluid mapping %v not above geometric variables %v", st.SemiMap, st.GeomVars)
+	}
+	if st.Total() <= 0 {
+		t.Fatal("zero total stage time")
+	}
+}
+
+func TestMasParContinuousSkipsSemiMapStage(t *testing.T) {
+	s := synth.Hurricane(24, 24, 83)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	m := maspar.New(maspar.ScaledConfig(8, 8))
+	res, err := TrackMasPar(m, pair, contParams(), Options{}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages.SemiMap != 0 {
+		t.Fatalf("continuous model spent %v in semi-fluid mapping", res.Stages.SemiMap)
+	}
+	if res.Plan.Segments != 1 {
+		t.Fatalf("continuous model planned %d segments", res.Plan.Segments)
+	}
+}
+
+func TestMasParGaussCountMatchesInventory(t *testing.T) {
+	// Ledger eliminations = fitPasses·layers (surface fit) +
+	// hypotheses·layers (motion solve).
+	s := synth.Hurricane(16, 16, 89)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	p := contParams()
+	m := maspar.New(maspar.ScaledConfig(4, 4)) // 16 layers
+	res, err := TrackMasPar(m, pair, p, Options{}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := int64(res.Layers)
+	want := 2*layers + int64(p.Hypotheses())*layers
+	if m.Cost.GaussianElims != want {
+		t.Fatalf("GaussianElims = %d, want %d", m.Cost.GaussianElims, want)
+	}
+}
+
+func TestMasParMemoryInfeasibleConfig(t *testing.T) {
+	// A machine with tiny PE memory must reject the run rather than
+	// silently overflow.
+	cfg := maspar.ScaledConfig(4, 4)
+	cfg.MemPerPE = 512
+	m := maspar.New(cfg)
+	s := synth.Hurricane(16, 16, 97)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	if _, err := TrackMasPar(m, pair, testParams(), Options{}, maspar.RasterReadout); err == nil {
+		t.Fatal("infeasible memory configuration accepted")
+	}
+}
+
+func TestMasParSegmentedRunStillCorrect(t *testing.T) {
+	// Squeeze PE memory so the template-mapping store must be segmented;
+	// results must not change.
+	s := synth.Hurricane(24, 24, 101)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	p := testParams()
+
+	big := maspar.New(maspar.ScaledConfig(8, 8))
+	a, err := TrackMasPar(big, pair, p, Options{}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan.Segments != 1 {
+		t.Fatalf("baseline run unexpectedly segmented: %+v", a.Plan)
+	}
+
+	cfg := maspar.ScaledConfig(8, 8)
+	cfg.MemPerPE = 1600 // forces Z < full search width
+	small := maspar.New(cfg)
+	b, err := TrackMasPar(small, pair, p, Options{}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Plan.Segments < 2 {
+		t.Fatalf("squeezed run not segmented: %+v", b.Plan)
+	}
+	if !a.Flow.Equal(b.Flow) {
+		t.Fatal("segmentation changed tracking results")
+	}
+	if b.Stages.Total() <= a.Stages.Total() {
+		t.Fatalf("segmented run %v not slower than unsegmented %v",
+			b.Stages.Total(), a.Stages.Total())
+	}
+}
+
+func TestMasParKeepMotion(t *testing.T) {
+	s := synth.Hurricane(16, 16, 103)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	m := maspar.New(maspar.ScaledConfig(4, 4))
+	res, err := TrackMasPar(m, pair, contParams(), Options{KeepMotion: true}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Motion) != 6 {
+		t.Fatalf("Motion has %d grids, want 6", len(res.Motion))
+	}
+}
+
+func TestMasParHostWorkersEquivalence(t *testing.T) {
+	s := synth.Hurricane(24, 24, 107)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	p := testParams()
+	m1 := maspar.New(maspar.ScaledConfig(8, 8))
+	m2 := maspar.New(maspar.ScaledConfig(8, 8))
+	serial, err := TrackMasPar(m1, pair, p, Options{}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := TrackMasPar(m2, pair, p, Options{HostWorkers: 4}, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Flow.Equal(par.Flow) || !serial.Err.Equal(par.Err) {
+		t.Fatal("host worker count changed results")
+	}
+	// The modeled machine ledger is identical: host parallelism is an
+	// execution detail, not a machine behavior.
+	if m1.Cost != m2.Cost {
+		t.Fatalf("ledger differs: %+v vs %+v", m1.Cost, m2.Cost)
+	}
+}

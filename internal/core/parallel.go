@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sma/internal/grid"
+)
+
+// TrackParallel runs the same tracking computation as TrackSequential
+// using host worker goroutines — the modern shared-memory analog of the
+// paper's data-parallel execution. Every pixel's computation is
+// independent (the precomputed geometry and semi-fluid mapping are
+// read-only), so the result is bit-identical to the sequential driver
+// regardless of the worker count.
+func TrackParallel(pair Pair, p Params, opt Options, workers int) (*Result, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("core: negative worker count %d", workers)
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	prep, err := Prepare(pair, p)
+	if err != nil {
+		return nil, err
+	}
+	sm := BuildSemiMap(prep)
+
+	w, h := prep.W, prep.H
+	res := &Result{Flow: grid.NewVectorField(w, h), Err: grid.New(w, h)}
+	if opt.KeepMotion {
+		res.Motion = make([]*grid.Grid, 6)
+		for i := range res.Motion {
+			res.Motion[i] = grid.New(w, h)
+		}
+	}
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker owns a tracker (scratch buffers are not shared).
+			t := &tracker{prep: prep, sm: sm, opt: opt}
+			for y := range rows {
+				for x := 0; x < w; x++ {
+					hx, hy, eps, theta := t.trackPixel(x, y)
+					res.Flow.Set(x, y, float32(hx), float32(hy))
+					res.Err.Set(x, y, float32(eps))
+					if opt.KeepMotion {
+						for i := range res.Motion {
+							res.Motion[i].Set(x, y, float32(theta[i]))
+						}
+					}
+				}
+			}
+		}()
+	}
+	for y := 0; y < h; y++ {
+		rows <- y
+	}
+	close(rows)
+	wg.Wait()
+	return res, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sma/internal/grid"
+	"sma/internal/surface"
+)
+
+// Prepared holds the per-image differential geometry the tracker consumes:
+// fitted surface geometry (normals, slopes, E, G) of the z-surfaces at
+// both timesteps and the intensity-surface discriminant fields the
+// semi-fluid mapping matches on. This is the paper's "Surface fit" +
+// "Compute geometric variables" stage (Tables 2 and 4).
+type Prepared struct {
+	P      Params
+	W, H   int
+	G0, G1 *surface.Field // geometry of Z0 and Z1
+	D0, D1 *grid.Grid     // intensity discriminants at t and t+1
+	// Extra holds discriminant fields of additional spectral channels
+	// (multispectral extension; empty unless the pair carries channels
+	// and the semi-fluid model is active).
+	Extra []ExtraChannel
+}
+
+// ExtraChannel is one prepared multispectral band: the discriminant fields
+// the semi-fluid matcher compares.
+type ExtraChannel struct {
+	D0, D1 *grid.Grid
+}
+
+// Prepare fits quadratic patches at every pixel of the surface images
+// (radius NS) and, when the semi-fluid model is active, of the intensity
+// images (radius NST) to obtain discriminant fields. Four full-image fit
+// passes, exactly as the paper counts them: "local surface patches are fit
+// for each pixel in both the intensity and surface images at both time
+// steps ... over one million separate Gaussian-eliminations" at 512².
+func Prepare(pair Pair, p Params) (*Prepared, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	zf := surface.NewFitter(p.NS)
+	out := &Prepared{P: p, W: pair.I0.W, H: pair.I0.H}
+	out.G0 = zf.FitAll(pair.Z0)
+	out.G1 = zf.FitAll(pair.Z1)
+	if p.SemiFluid() {
+		imf := zf
+		if p.NST != p.NS {
+			imf = surface.NewFitter(p.NST)
+		}
+		if pair.I0 == pair.Z0 && p.NST == p.NS {
+			out.D0 = out.G0.D
+		} else {
+			out.D0 = imf.FitAll(pair.I0).D
+		}
+		if pair.I1 == pair.Z1 && p.NST == p.NS {
+			out.D1 = out.G1.D
+		} else {
+			out.D1 = imf.FitAll(pair.I1).D
+		}
+		for _, c := range pair.Extra {
+			out.Extra = append(out.Extra, ExtraChannel{
+				D0: imf.FitAll(c.I0).D,
+				D1: imf.FitAll(c.I1).D,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FitPasses reports how many full-image surface-fit passes Prepare runs
+// for these parameters (used by the cost models).
+func FitPasses(pair Pair, p Params) int {
+	n := 2 // Z0, Z1
+	if p.SemiFluid() {
+		if !(pair.I0 == pair.Z0 && p.NST == p.NS) {
+			n++
+		}
+		if !(pair.I1 == pair.Z1 && p.NST == p.NS) {
+			n++
+		}
+		n += 2 * len(pair.Extra) // multispectral discriminant fits
+	}
+	return n
+}

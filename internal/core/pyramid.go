@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sma/internal/grid"
+)
+
+// TrackPyramid is the hierarchical coarse-to-fine extension the paper's
+// §6 lists as future work ("adaptive hierarchical non-square template and
+// search windows"), mirroring the multiresolution strategy its ASA stereo
+// substrate already uses: the sequence pair is tracked at a coarse
+// resolution first, and each finer level searches a small window centered
+// on the upsampled coarser estimate. The reachable displacement grows as
+// NZS·2^(levels−1) while per-level cost stays fixed.
+//
+// Only the continuous model is supported: the semi-fluid precompute is
+// tied to a fixed global search window, which prior-guided search
+// invalidates.
+func TrackPyramid(pair Pair, p Params, levels int, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.SemiFluid() {
+		return nil, fmt.Errorf("core: TrackPyramid requires the continuous model (NSS = 0)")
+	}
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	if levels < 1 {
+		return nil, fmt.Errorf("core: need at least one pyramid level, got %d", levels)
+	}
+
+	// Build image pyramids, sharing levels when surfaces alias intensity.
+	ip0 := grid.NewPyramid(pair.I0, levels)
+	ip1 := grid.NewPyramid(pair.I1, levels)
+	zp0 := ip0
+	zp1 := ip1
+	if pair.Z0 != pair.I0 {
+		zp0 = grid.NewPyramid(pair.Z0, levels)
+	}
+	if pair.Z1 != pair.I1 {
+		zp1 = grid.NewPyramid(pair.Z1, levels)
+	}
+	n := len(ip0.Levels)
+
+	var prior *grid.VectorField
+	var res *Result
+	for l := n - 1; l >= 0; l-- {
+		lp := Pair{I0: ip0.Levels[l], I1: ip1.Levels[l], Z0: zp0.Levels[l], Z1: zp1.Levels[l]}
+		prep, err := Prepare(lp, p)
+		if err != nil {
+			return nil, err
+		}
+		if prior != nil {
+			// Promote the coarser flow: double the displacements and
+			// resample to this level's dimensions.
+			u := prior.U.Upsample2(prep.W, prep.H, 2)
+			v := prior.V.Upsample2(prep.W, prep.H, 2)
+			prior = &grid.VectorField{U: u, V: v}
+		}
+		res = trackWithPrior(prep, prior, opt)
+		prior = res.Flow
+	}
+	return res, nil
+}
+
+// trackWithPrior runs the hypothesis search with per-pixel search centers
+// taken from a prior flow field (nil means zero centers everywhere).
+func trackWithPrior(prep *Prepared, prior *grid.VectorField, opt Options) *Result {
+	w, h := prep.W, prep.H
+	res := &Result{Flow: grid.NewVectorField(w, h), Err: grid.New(w, h)}
+	if opt.KeepMotion {
+		res.Motion = make([]*grid.Grid, 6)
+		for i := range res.Motion {
+			res.Motion[i] = grid.New(w, h)
+		}
+	}
+	t := &tracker{prep: prep, sm: nil, opt: opt}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			bx, by := 0, 0
+			if prior != nil {
+				u, v := prior.At(x, y)
+				bx = int(math.Round(float64(u)))
+				by = int(math.Round(float64(v)))
+			}
+			hx, hy, eps, theta := t.trackPixelFrom(x, y, bx, by)
+			res.Flow.Set(x, y, float32(hx), float32(hy))
+			res.Err.Set(x, y, float32(eps))
+			if opt.KeepMotion {
+				for i := range res.Motion {
+					res.Motion[i].Set(x, y, float32(theta[i]))
+				}
+			}
+		}
+	}
+	return res
+}
+
+// TrackGuided runs one continuous-model tracking pass with per-pixel
+// search centers taken from a prior displacement field (for example the
+// previous frame pair's flow — temporal coherence — or a coarser pyramid
+// level). The search window covers prior ± NZS per axis.
+func TrackGuided(pair Pair, p Params, prior *grid.VectorField, opt Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.SemiFluid() {
+		return nil, fmt.Errorf("core: TrackGuided requires the continuous model (NSS = 0)")
+	}
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	if prior != nil {
+		if pw, ph := prior.Bounds(); pw != pair.I0.W || ph != pair.I0.H {
+			return nil, fmt.Errorf("core: prior field %dx%d does not match image %dx%d",
+				pw, ph, pair.I0.W, pair.I0.H)
+		}
+	}
+	prep, err := Prepare(pair, p)
+	if err != nil {
+		return nil, err
+	}
+	return trackWithPrior(prep, prior, opt), nil
+}

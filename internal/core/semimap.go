@@ -1,0 +1,116 @@
+package core
+
+import "sma/internal/grid"
+
+// SemiMap is the precomputed semi-fluid template mapping (paper eq. 9 and
+// §4.1): for every image pixel p and every hypothesis offset h in the
+// search area, the small displacement δ(p, h) that best re-matches the
+// intensity-surface discriminant patch around p at time t against patches
+// around p+h+δ at time t+1.
+//
+// Because the template neighborhoods of adjacent tracked pixels overlap,
+// the mapping for (template pixel, hypothesis offset) is shared across all
+// tracked pixels — the paper's key precomputation: "it is more efficient
+// to pre-compute the template mapping for all pixels ... a template
+// mapping is computed for each pixel (xs, ys) in the (2·Nzs+1)×(2·Nzs+1)
+// neighborhood".
+type SemiMap struct {
+	W, H   int
+	RX, RY int // search radii (hypothesis window) per axis
+	NSS    int
+	// DX/DY store δ per (pixel, hypothesis): index = (y·W + x)·hyps + hIdx.
+	DX, DY []int8
+}
+
+// hyps returns the hypothesis count per pixel.
+func (s *SemiMap) hyps() int { return (2*s.RX + 1) * (2*s.RY + 1) }
+
+// hypIndex linearizes a hypothesis offset (hx, hy) ∈ [−RX, RX]×[−RY, RY].
+func (s *SemiMap) hypIndex(hx, hy int) int {
+	return (hy+s.RY)*(2*s.RX+1) + (hx + s.RX)
+}
+
+// Delta returns the semi-fluid adjustment δ for pixel (x, y) under
+// hypothesis offset (hx, hy). Offsets outside the precomputed search
+// window (possible under prior-guided search) return δ = 0.
+func (s *SemiMap) Delta(x, y, hx, hy int) (dx, dy int) {
+	if hx < -s.RX || hx > s.RX || hy < -s.RY || hy > s.RY {
+		return 0, 0
+	}
+	i := (y*s.W+x)*s.hyps() + s.hypIndex(hx, hy)
+	return int(s.DX[i]), int(s.DY[i])
+}
+
+// BuildSemiMap precomputes the semi-fluid template mapping for every pixel
+// and hypothesis. For NSS = 0 (continuous model) it returns nil: Fsemi
+// degenerates to Fcont ("when Nss = 0 then Fsemi reduces to the mapping
+// Fcont").
+//
+// Matching minimizes fsemi(p; q) = Σ over the (2·NST+1)² patch of
+// (D′(q+s) − D(p+s))² — the discriminant-change measure of eqs. 10–11 —
+// over q = p+h+δ, |δ|∞ ≤ NSS. δ = (0, 0) is evaluated first and ties are
+// broken in its favor (then scan order), so featureless regions keep the
+// continuous mapping and results are deterministic.
+//
+// When extra multispectral channels are prepared (paper §6: "using
+// multispectral information"), the discriminant differences are summed
+// across all channels.
+func BuildSemiMap(prep *Prepared) *SemiMap {
+	p := prep.P
+	if !p.SemiFluid() {
+		return nil
+	}
+	w, h := prep.W, prep.H
+	rx := p.SearchRX()
+	ry := p.SearchRY()
+	hyps := (2*rx + 1) * (2*ry + 1)
+	sm := &SemiMap{W: w, H: h, RX: rx, RY: ry, NSS: p.NSS,
+		DX: make([]int8, w*h*hyps), DY: make([]int8, w*h*hyps)}
+	type chanPair struct{ d0, d1 *grid.Grid }
+	channels := []chanPair{{prep.D0, prep.D1}}
+	for _, c := range prep.Extra {
+		channels = append(channels, chanPair{c.D0, c.D1})
+	}
+	nst := p.NST
+	nss := p.NSS
+	idx := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for hy := -ry; hy <= ry; hy++ {
+				for hx := -rx; hx <= rx; hx++ {
+					score := func(dx, dy int) float64 {
+						var s float64
+						qx := x + hx + dx
+						qy := y + hy + dy
+						for _, ch := range channels {
+							for sy := -nst; sy <= nst; sy++ {
+								for sx := -nst; sx <= nst; sx++ {
+									d := float64(ch.d1.At(qx+sx, qy+sy) - ch.d0.At(x+sx, y+sy))
+									s += d * d
+								}
+							}
+						}
+						return s
+					}
+					bestDX, bestDY := 0, 0
+					best := score(0, 0)
+					for dy := -nss; dy <= nss; dy++ {
+						for dx := -nss; dx <= nss; dx++ {
+							if dx == 0 && dy == 0 {
+								continue
+							}
+							if s := score(dx, dy); s < best {
+								best = s
+								bestDX, bestDY = dx, dy
+							}
+						}
+					}
+					sm.DX[idx] = int8(bestDX)
+					sm.DY[idx] = int8(bestDY)
+					idx++
+				}
+			}
+		}
+	}
+	return sm
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sma/internal/grid"
+	"sma/internal/la"
+	"sma/internal/maspar"
+)
+
+// TrackSIMDContinuous executes continuous-model SMA tracking as a pure
+// SIMD data path on the simulated MasPar: the surfaces are fitted on the
+// machine (maspar.SIMDSurfaceFit), the per-pixel geometry fields are
+// brought into each PE exclusively through neighborhood gathers over the
+// X-net mesh, and the hypothesis search runs per memory layer in lockstep
+// using only that gathered data — no access to host-side image state.
+//
+// This is the deepest-fidelity execution mode: where TrackMasPar charges
+// the machine ledger and then computes functionally on host arrays,
+// TrackSIMDContinuous moves every operand through the simulated machine.
+// Because the mesh is toroidal while the host tracker clamps at image
+// borders, results are guaranteed identical to TrackSequential only for
+// pixels whose fit+template+search footprint stays inside the image
+// (distance > NS + NZT + NZS + NS from the border); the equivalence test
+// asserts exact agreement there.
+func TrackSIMDContinuous(m *maspar.Machine, pair Pair, p Params, scheme maspar.FetchScheme) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.SemiFluid() {
+		return nil, fmt.Errorf("core: TrackSIMDContinuous supports the continuous model only")
+	}
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	w, h := pair.Z0.W, pair.Z0.H
+	mp := maspar.NewHierarchical(m, w, h)
+
+	// Stage 1+2 on the machine: distribute surfaces and fit.
+	z0 := maspar.Distribute(m, mp, pair.Z0)
+	z1 := maspar.Distribute(m, mp, pair.Z1)
+	g0, err := maspar.SIMDSurfaceFit(m, z0, p.NS, scheme)
+	if err != nil {
+		return nil, err
+	}
+	g1, err := maspar.SIMDSurfaceFit(m, z1, p.NS, scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4 data: gather the before-geometry across the template radius
+	// and the after-normals across template+search.
+	rT := p.TemplateRX()
+	if ry := p.TemplateRY(); ry > rT {
+		rT = ry
+	}
+	rQ := rT + p.SearchRX()
+	if r := rT + p.SearchRY(); r > rQ {
+		rQ = r
+	}
+	gather := func(img *maspar.Image, r int) *maspar.Neighborhoods {
+		if scheme == maspar.SnakeReadout {
+			return maspar.GatherSnake(img, r)
+		}
+		return maspar.GatherRaster(img, r)
+	}
+	zxN := gather(g0.Zx, rT)
+	zyN := gather(g0.Zy, rT)
+	eN := gather(g0.E, rT)
+	gN := gather(g0.G, rT)
+	niN := gather(g1.Ni, rQ)
+	njN := gather(g1.Nj, rQ)
+	nkN := gather(g1.Nk, rQ)
+
+	// Lockstep hypothesis search per layer using gathered data only.
+	res := &Result{Flow: grid.NewVectorField(w, h), Err: grid.New(w, h)}
+	nproc := m.Cfg.NProc()
+	oc := CountOps(p, 2)
+	trx := p.TemplateRX()
+	try := p.TemplateRY()
+	srx := p.SearchRX()
+	sry := p.SearchRY()
+	nbuf := make([]float64, (2*trx+1)*(2*try+1)*bufStride)
+	for l := 0; l < mp.Layers(); l++ {
+		for pe := 0; pe < nproc; pe++ {
+			x, y := mp.Invert(pe, l)
+			if x >= w || y >= h {
+				continue
+			}
+			bestE := math.Inf(1)
+			bestHX, bestHY := 0, 0
+			score := func(hx, hy int) float64 {
+				var a la.Mat6
+				var b la.Vec6
+				k := 0
+				for dy := -try; dy <= try; dy++ {
+					for dx := -trx; dx <= trx; dx++ {
+						zx := float64(zxN.At(x, y, dx, dy))
+						zy := float64(zyN.At(x, y, dx, dy))
+						scale := math.Sqrt(1 + zx*zx + zy*zy)
+						ni := float64(niN.At(x, y, dx+hx, dy+hy))
+						nj := float64(njN.At(x, y, dx+hx, dy+hy))
+						nk := float64(nkN.At(x, y, dx+hx, dy+hy))
+						rhs0 := scale*ni + zx
+						rhs1 := scale*nj + zy
+						rhs2 := scale*nk - 1
+						w0 := 1 / float64(eN.At(x, y, dx, dy))
+						w1 := 1 / float64(gN.At(x, y, dx, dy))
+						accumulateSMA(&a, &b, zx, zy, rhs0, rhs1, rhs2, w0, w1)
+						nbuf[k] = zx
+						nbuf[k+1] = zy
+						nbuf[k+2] = rhs0
+						nbuf[k+3] = rhs1
+						nbuf[k+4] = rhs2
+						nbuf[k+5] = w0
+						nbuf[k+6] = w1
+						k += bufStride
+					}
+				}
+				symmetrize(&a)
+				theta := solveMotion(&a, &b)
+				return residualSum(nbuf[:k], &theta)
+			}
+			bestE = score(0, 0)
+			for hy := -sry; hy <= sry; hy++ {
+				for hx := -srx; hx <= srx; hx++ {
+					if hx == 0 && hy == 0 {
+						continue
+					}
+					if e := score(hx, hy); e < bestE {
+						bestE = e
+						bestHX, bestHY = hx, hy
+					}
+				}
+			}
+			res.Flow.Set(x, y, float32(bestHX), float32(bestHY))
+			res.Err.Set(x, y, float32(bestE))
+		}
+		// SIMD instruction charges for this layer's hypothesis sweep.
+		m.ChargeFlops(oc.HypFlops)
+		for g := int64(0); g < oc.HypGauss; g++ {
+			m.ChargeGauss6()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"sma/internal/maspar"
+	"sma/internal/synth"
+)
+
+func TestTrackSIMDContinuousMatchesSequentialInterior(t *testing.T) {
+	s := synth.Hurricane(32, 32, 111)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	p := contParams() // NS=2, NZS=2, NZT=3
+	seq, err := TrackSequential(pair, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := maspar.New(maspar.ScaledConfig(8, 8))
+	simd, err := TrackSIMDContinuous(m, pair, p, maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior margin: fit + template + search + fit = 2+3+2+2 = 9.
+	const margin = 9
+	for y := margin; y < 32-margin; y++ {
+		for x := margin; x < 32-margin; x++ {
+			su, sv := seq.Flow.At(x, y)
+			pu, pv := simd.Flow.At(x, y)
+			if su != pu || sv != pv {
+				t.Fatalf("SIMD flow(%d,%d) = (%v,%v), sequential (%v,%v)",
+					x, y, pu, pv, su, sv)
+			}
+		}
+	}
+}
+
+func TestTrackSIMDContinuousChargesMachine(t *testing.T) {
+	s := synth.Thunderstorm(16, 16, 113)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	m := maspar.New(maspar.ScaledConfig(4, 4))
+	if _, err := TrackSIMDContinuous(m, pair, contParams(), maspar.RasterReadout); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost.XNetShifts == 0 {
+		t.Fatal("no mesh communication charged")
+	}
+	// 2 fit passes × 16 layers + 25 hypotheses × 16 layers of eliminations.
+	want := int64(2*16 + 25*16)
+	if m.Cost.GaussianElims != want {
+		t.Fatalf("GaussianElims = %d, want %d", m.Cost.GaussianElims, want)
+	}
+}
+
+func TestTrackSIMDContinuousRejectsSemiFluid(t *testing.T) {
+	s := synth.Thunderstorm(16, 16, 115)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	m := maspar.New(maspar.ScaledConfig(4, 4))
+	if _, err := TrackSIMDContinuous(m, pair, testParams(), maspar.RasterReadout); err == nil {
+		t.Fatal("semi-fluid accepted by the SIMD data path")
+	}
+}
+
+func TestTrackSIMDSchemesAgree(t *testing.T) {
+	s := synth.Hurricane(24, 24, 117)
+	pair := Monocular(s.Frame(0), s.Frame(1))
+	m1 := maspar.New(maspar.ScaledConfig(8, 8))
+	m2 := maspar.New(maspar.ScaledConfig(8, 8))
+	a, err := TrackSIMDContinuous(m1, pair, contParams(), maspar.RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrackSIMDContinuous(m2, pair, contParams(), maspar.SnakeReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Flow.Equal(b.Flow) {
+		t.Fatal("read-out scheme changed SIMD tracking results")
+	}
+}

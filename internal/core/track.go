@@ -1,0 +1,299 @@
+package core
+
+import (
+	"math"
+
+	"sma/internal/la"
+)
+
+// Options controls a tracking run.
+type Options struct {
+	// KeepMotion retains the six fitted motion parameters per pixel in
+	// Result.Motion.
+	KeepMotion bool
+	// Robust enables the robust-estimation extension (paper §6 future
+	// work): one Huber re-weighted refinement of the motion-parameter
+	// solve per hypothesis.
+	Robust bool
+	// HuberK is the Huber threshold as a multiple of the RMS residual
+	// (default 1.5 when Robust is set).
+	HuberK float64
+	// HostWorkers splits TrackMasPar's functional per-layer PE sweep
+	// across goroutines on the host (0 or 1 = serial). Results are
+	// independent of the worker count.
+	HostWorkers int
+}
+
+// tracker scores correspondence hypotheses for single pixels.
+//
+// Reconstruction of eqs. (3)–(5): with surface slopes (zx, zy) at a
+// template pixel, the unnormalized normal is n0 = (−zx, −zy, 1) and, to
+// first order in the affine parameters θ = (ai, bi, aj, bj, ak, bk) of
+// eq. (6), the deformed normal is N(θ) = n0 + L·θ with
+//
+//	L = ⎡ 0   0   zy  −zx  −1   0 ⎤
+//	    ⎢−zy  zx   0   0    0  −1 ⎥
+//	    ⎣ 1   0    0   1    0   0 ⎦
+//
+// The residual against the observed after-motion unit normal n′ is
+// r(θ) = |n0|·n′ − N(θ); ε1 and ε2 are its first two components weighted
+// by the first-fundamental-form coefficients (1/E, 1/G; the third
+// component has unit weight). Minimizing Σ w·r² over θ is linear least
+// squares — "another system of linear equations ... solved using
+// Gaussian-elimination" — and the minimized sum is the hypothesis error ε.
+type tracker struct {
+	prep *Prepared
+	sm   *SemiMap
+	opt  Options
+
+	// buf caches per-template-pixel quantities between the accumulation
+	// pass and the ε pass: zx, zy, rhs0..2, w0, w1 (7 values per pixel).
+	buf []float64
+}
+
+const bufStride = 7
+
+// score evaluates ε(x, y; x+hx, y+hy) and the fitted motion parameters.
+func (t *tracker) score(x, y, hx, hy int) (eps float64, theta la.Vec6) {
+	p := t.prep.P
+	rx := p.TemplateRX()
+	ry := p.TemplateRY()
+	n := (2*rx + 1) * (2*ry + 1)
+	if cap(t.buf) < n*bufStride {
+		t.buf = make([]float64, n*bufStride)
+	}
+	buf := t.buf[:n*bufStride]
+
+	g0 := t.prep.G0
+	g1 := t.prep.G1
+	var a la.Mat6
+	var b la.Vec6
+	k := 0
+	for dy := -ry; dy <= ry; dy++ {
+		for dx := -rx; dx <= rx; dx++ {
+			px := x + dx
+			py := y + dy
+			qx := x + hx + dx
+			qy := y + hy + dy
+			if t.sm != nil && px >= 0 && px < t.prep.W && py >= 0 && py < t.prep.H {
+				ddx, ddy := t.sm.Delta(px, py, hx, hy)
+				qx += ddx
+				qy += ddy
+			}
+			zx := float64(g0.Zx.At(px, py))
+			zy := float64(g0.Zy.At(px, py))
+			scale := math.Sqrt(1 + zx*zx + zy*zy)
+			ni, nj, nk := g1.NormalAt(qx, qy)
+			rhs0 := scale*ni + zx // |n0|·ni′ − (−zx)
+			rhs1 := scale*nj + zy
+			rhs2 := scale*nk - 1
+			w0 := 1 / float64(g0.E.At(px, py))
+			w1 := 1 / float64(g0.G.At(px, py))
+			accumulateSMA(&a, &b, zx, zy, rhs0, rhs1, rhs2, w0, w1)
+			buf[k] = zx
+			buf[k+1] = zy
+			buf[k+2] = rhs0
+			buf[k+3] = rhs1
+			buf[k+4] = rhs2
+			buf[k+5] = w0
+			buf[k+6] = w1
+			k += bufStride
+		}
+	}
+	symmetrize(&a)
+	theta = solveMotion(&a, &b)
+	if t.opt.Robust {
+		theta = robustRefine(buf, theta, t.opt.HuberK)
+	}
+	eps = residualSum(buf, &theta)
+	return eps, theta
+}
+
+// accumulateSMA adds one template pixel's three weighted residual rows to
+// the normal equations, exploiting the sparsity of L (rows touch
+// parameters {2,3,4}, {0,1,5} and {0,3} only). Only the upper triangle of
+// A is maintained; symmetrize completes it after the loop.
+func accumulateSMA(a *la.Mat6, b *la.Vec6, zx, zy, rhs0, rhs1, rhs2, w0, w1 float64) {
+	// Row 0: (0, 0, zy, −zx, −1, 0), weight w0.
+	a[2][2] += w0 * zy * zy
+	a[2][3] += w0 * zy * -zx
+	a[2][4] += w0 * zy * -1
+	a[3][3] += w0 * zx * zx
+	a[3][4] += w0 * zx // (−zx)(−1)
+	a[4][4] += w0
+	b[2] += w0 * zy * rhs0
+	b[3] += w0 * -zx * rhs0
+	b[4] += w0 * -rhs0
+	// Row 1: (−zy, zx, 0, 0, 0, −1), weight w1.
+	a[0][0] += w1 * zy * zy
+	a[0][1] += w1 * -zy * zx
+	a[0][5] += w1 * zy // (−zy)(−1)
+	a[1][1] += w1 * zx * zx
+	a[1][5] += w1 * -zx
+	a[5][5] += w1
+	b[0] += w1 * -zy * rhs1
+	b[1] += w1 * zx * rhs1
+	b[5] += w1 * -rhs1
+	// Row 2: (1, 0, 0, 1, 0, 0), weight 1.
+	a[0][0]++
+	a[0][3]++
+	a[3][3]++
+	b[0] += rhs2
+	b[3] += rhs2
+}
+
+// symmetrize mirrors the maintained upper triangle into the lower one.
+func symmetrize(a *la.Mat6) {
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			a[j][i] = a[i][j]
+		}
+	}
+}
+
+// rowResiduals returns the three weighted residual terms of one buffered
+// template pixel under parameters θ.
+func rowResiduals(buf []float64, k int, th *la.Vec6) (r0w, r1w, r2w float64) {
+	zx := buf[k]
+	zy := buf[k+1]
+	l0 := zy*th[2] - zx*th[3] - th[4]
+	l1 := -zy*th[0] + zx*th[1] - th[5]
+	l2 := th[0] + th[3]
+	r0 := buf[k+2] - l0
+	r1 := buf[k+3] - l1
+	r2 := buf[k+4] - l2
+	return buf[k+5] * r0 * r0, buf[k+6] * r1 * r1, r2 * r2
+}
+
+// residualSum evaluates ε = Σ w·(rhs − L·θ)² over the buffered template.
+func residualSum(buf []float64, th *la.Vec6) float64 {
+	var eps float64
+	for k := 0; k < len(buf); k += bufStride {
+		r0, r1, r2 := rowResiduals(buf, k, th)
+		eps += r0 + r1 + r2
+	}
+	return eps
+}
+
+// robustRefine performs one Huber re-weighted least-squares step on the
+// buffered observations (paper §6's robust-estimation future work).
+func robustRefine(buf []float64, theta la.Vec6, huberK float64) la.Vec6 {
+	k := huberK
+	if k <= 0 {
+		k = 1.5
+	}
+	var sum float64
+	n := 0
+	for i := 0; i < len(buf); i += bufStride {
+		r0, r1, r2 := rowResiduals(buf, i, &theta)
+		sum += r0 + r1 + r2
+		n += 3
+	}
+	// A near-zero residual sum means the plain fit already explains the
+	// data to numerical precision; reweighting by ratios of rounding noise
+	// would only destabilize it.
+	if n == 0 || sum/float64(n) < 1e-12 {
+		return theta
+	}
+	thresh2 := k * k * sum / float64(n) // (k·RMS)² threshold on weighted r²
+	var a la.Mat6
+	var b la.Vec6
+	for i := 0; i < len(buf); i += bufStride {
+		zx := buf[i]
+		zy := buf[i+1]
+		w0 := buf[i+5]
+		w1 := buf[i+6]
+		r0, r1, r2 := rowResiduals(buf, i, &theta)
+		if r0 > thresh2 {
+			w0 *= math.Sqrt(thresh2 / r0)
+		}
+		if r1 > thresh2 {
+			w1 *= math.Sqrt(thresh2 / r1)
+		}
+		w2 := 1.0
+		if r2 > thresh2 {
+			w2 = math.Sqrt(thresh2 / r2)
+		}
+		rows := [3]la.Vec6{
+			{0, 0, zy, -zx, -1, 0},
+			{-zy, zx, 0, 0, 0, -1},
+			{1, 0, 0, 1, 0, 0},
+		}
+		rhs := [3]float64{buf[i+2], buf[i+3], buf[i+4]}
+		ws := [3]float64{w0, w1, w2}
+		for c := 0; c < 3; c++ {
+			la.AccumulateNormal(&a, &b, &rows[c], rhs[c], ws[c])
+		}
+	}
+	return solveMotion(&a, &b)
+}
+
+// solveMotion solves the accumulated normal equations, falling back to a
+// ridge-regularized solve (then θ = 0) when degenerate geometry — e.g. a
+// perfectly flat featureless patch — leaves the system singular.
+func solveMotion(a *la.Mat6, b *la.Vec6) la.Vec6 {
+	ac := *a
+	bc := *b
+	if x, ok := la.Solve6(&ac, &bc); ok {
+		return x
+	}
+	var tr float64
+	for i := 0; i < 6; i++ {
+		tr += a[i][i]
+	}
+	ridge := tr/6*1e-8 + 1e-9
+	ac = *a
+	bc = *b
+	for i := 0; i < 6; i++ {
+		ac[i][i] += ridge
+	}
+	if x, ok := la.Solve6(&ac, &bc); ok {
+		return x
+	}
+	return la.Vec6{}
+}
+
+// trackPixel runs the full hypothesis search for one pixel. The zero
+// hypothesis is evaluated first and ties break in its favor, then scan
+// order — the same deterministic rule on every driver.
+//
+// Under the semi-fluid model the reported correspondence is the winning
+// hypothesis plus the tracked pixel's own semi-fluid adjustment,
+// h + δ(x, y, h): Fsemi (eq. 9) maps every template pixel individually,
+// and the tracked pixel's after-motion location is where its own
+// discriminant patch re-matched. (Without this, any hypothesis within
+// ±NSS of the truth scores a near-identical ε — the per-pixel freedom
+// absorbs the offset — and the argmin would be ambiguous.)
+func (t *tracker) trackPixel(x, y int) (hx, hy int, eps float64, theta la.Vec6) {
+	return t.trackPixelFrom(x, y, 0, 0)
+}
+
+// trackPixelFrom searches the hypothesis window centered at offset
+// (bx, by) instead of zero — the prior-guided search the hierarchical
+// (coarse-to-fine) extension uses at finer pyramid levels.
+func (t *tracker) trackPixelFrom(x, y, bx, by int) (hx, hy int, eps float64, theta la.Vec6) {
+	p := t.prep.P
+	srx := p.SearchRX()
+	sry := p.SearchRY()
+	hx, hy = bx, by
+	eps, theta = t.score(x, y, bx, by)
+	for dy := -sry; dy <= sry; dy++ {
+		for dx := -srx; dx <= srx; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			e, th := t.score(x, y, bx+dx, by+dy)
+			if e < eps {
+				eps = e
+				hx, hy = bx+dx, by+dy
+				theta = th
+			}
+		}
+	}
+	if t.sm != nil {
+		dx, dy := t.sm.Delta(x, y, hx, hy)
+		hx += dx
+		hy += dy
+	}
+	return hx, hy, eps, theta
+}

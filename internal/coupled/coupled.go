@@ -1,0 +1,208 @@
+// Package coupled implements the coupled stereo-and-motion analysis the
+// paper's §6 (and its reference [10], Kambhamettu, Palaniappan & Hasler
+// 1995) proposes: cross-validating the stereo surface maps against the
+// estimated motion field and repairing inconsistent surface estimates,
+// then re-tracking on the repaired surfaces.
+package coupled
+
+import (
+	"fmt"
+	"math"
+
+	"sma/internal/core"
+	"sma/internal/grid"
+)
+
+// Consistency measures, per pixel, how well the surface maps agree with
+// the motion field: |z1(x+u, y+v) − z0(x, y)|. For correctly tracked,
+// correctly reconstructed cloud decks the advected height is nearly
+// conserved over one frame interval; large values flag stereo dropouts or
+// motion errors.
+func Consistency(flow *grid.VectorField, z0, z1 *grid.Grid) (*grid.Grid, error) {
+	w, h := flow.Bounds()
+	if z0.W != w || z0.H != h || z1.W != w || z1.H != h {
+		return nil, fmt.Errorf("coupled: surface sizes do not match the flow")
+	}
+	out := grid.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u, v := flow.At(x, y)
+			after := z1.Bilinear(float64(x)+float64(u), float64(y)+float64(v))
+			out.Set(x, y, float32(math.Abs(float64(after-z0.AtUnchecked(x, y)))))
+		}
+	}
+	return out, nil
+}
+
+// RepairConfig controls the motion-guided surface repair.
+type RepairConfig struct {
+	// Thresh is the disagreement (in height units) beyond which a stereo
+	// sample is replaced by the motion-predicted height.
+	Thresh float32
+	// MaxEps, when positive, excludes flow samples whose tracking
+	// residual exceeds it from the robust local flow estimate (tracking
+	// near a corrupted surface region is itself unreliable).
+	MaxEps float32
+	// Window is the radius of the robust (median) local-flow window; it
+	// should exceed the radius of the corrupted regions being repaired.
+	Window int
+	// Margin excludes targets within this many pixels of the image
+	// border, where edge clamping makes advected heights unreliable.
+	Margin int
+}
+
+// Repair replaces z1 samples that disagree with the motion-predicted
+// surface. For every target pixel q a robust local flow (componentwise
+// median over a window, restricted to confident samples) is formed from
+// the surrounding motion field; the predicted height is the z0 value at
+// the backward-advected position q − d. Where the stereo estimate
+// deviates from the prediction by more than Thresh it is replaced —
+// motion filling stereo dropouts, the coupling of the paper's §6.
+//
+// Using the *robust neighborhood* flow rather than the pixel's own flow
+// is what makes this safe: tracking directly on a corrupted region is
+// wrong exactly where repair is needed, while the surrounding flow is
+// intact.
+func Repair(flow *grid.VectorField, eps *grid.Grid, z0, z1 *grid.Grid, cfg RepairConfig) (*grid.Grid, int, error) {
+	w, h := flow.Bounds()
+	if z0.W != w || z0.H != h || z1.W != w || z1.H != h {
+		return nil, 0, fmt.Errorf("coupled: surface sizes do not match the flow")
+	}
+	if eps != nil && (eps.W != w || eps.H != h) {
+		return nil, 0, fmt.Errorf("coupled: ε field size does not match the flow")
+	}
+	m := cfg.Margin
+	if m < 0 || 2*m >= w || 2*m >= h {
+		return nil, 0, fmt.Errorf("coupled: margin %d out of range for %dx%d", m, w, h)
+	}
+	r := cfg.Window
+	if r < 1 {
+		return nil, 0, fmt.Errorf("coupled: window radius %d must be positive", r)
+	}
+	out := z1.Clone()
+	repaired := 0
+	var us, vs []float32
+	for y := m; y < h-m; y++ {
+		for x := m; x < w-m; x++ {
+			us = us[:0]
+			vs = vs[:0]
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					px, py := x+dx, y+dy
+					if px < 0 || px >= w || py < 0 || py >= h {
+						continue
+					}
+					if eps != nil && cfg.MaxEps > 0 && eps.AtUnchecked(px, py) > cfg.MaxEps {
+						continue
+					}
+					u, v := flow.At(px, py)
+					us = append(us, u)
+					vs = append(vs, v)
+				}
+			}
+			if len(us) < (r+1)*(r+1) {
+				continue // not enough confident flow to form a prediction
+			}
+			du := float64(median(us))
+			dv := float64(median(vs))
+			pred := z0.Bilinear(float64(x)-du, float64(y)-dv)
+			if d := out.AtUnchecked(x, y) - pred; d > cfg.Thresh || d < -cfg.Thresh {
+				out.Set(x, y, pred)
+				repaired++
+			}
+		}
+	}
+	return out, repaired, nil
+}
+
+// median returns the middle value (lower of two for even counts) by
+// in-place insertion sort — windows are small.
+func median(v []float32) float32 {
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+	return v[len(v)/2]
+}
+
+// epsQuantile returns the q-quantile (0..1) of a residual field via a
+// 1024-bin histogram — confident pixels sit below it.
+func epsQuantile(eps *grid.Grid, q float64) float32 {
+	min, max := eps.MinMax()
+	if max <= min {
+		return max
+	}
+	const bins = 1024
+	var hist [bins]int
+	scale := float64(bins-1) / float64(max-min)
+	for _, v := range eps.Data {
+		hist[int(float64(v-min)*scale)]++
+	}
+	target := int(q * float64(len(eps.Data)))
+	acc := 0
+	for b, c := range hist {
+		acc += c
+		if acc >= target {
+			return min + float32(float64(b)/scale)
+		}
+	}
+	return max
+}
+
+// Result is one coupled stereo–motion iteration's outcome.
+type Result struct {
+	Flow     *grid.VectorField
+	Z1       *grid.Grid // repaired surface at t+1
+	Repaired int        // samples replaced in the final repair pass
+}
+
+// Track runs the coupled loop: track on the given surfaces, repair z1
+// where the motion contradicts it, and re-track on the repaired surface.
+// iters counts repair/re-track rounds (1 = a single coupling pass).
+func Track(pair core.Pair, p core.Params, opt core.Options, thresh float32, iters int) (*Result, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("coupled: need at least one iteration")
+	}
+	res, err := core.TrackSequential(pair, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	z1 := pair.Z1
+	totalRepaired := 0
+	cfg := RepairConfig{
+		Thresh: thresh,
+		// Exclude the least confident quarter of flow samples from the
+		// robust local flow — tracking over a corrupted region is
+		// unreliable, and the median handles the remainder.
+		MaxEps: epsQuantile(res.Err, 0.75),
+		// The robust window must out-vote a corrupted region roughly the
+		// size of the matching footprint.
+		Window: 2*(p.TemplateRX()+p.SearchRX()) + 1,
+		// Stay clear of edge-clamping artifacts.
+		Margin: p.TemplateRX() + p.SearchRX(),
+	}
+	for i := 0; i < iters; i++ {
+		rz, n, err := Repair(res.Flow, res.Err, pair.Z0, z1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		totalRepaired = n
+		if n == 0 {
+			break
+		}
+		z1 = rz
+		repairedPair := pair
+		repairedPair.Z1 = z1
+		res, err = core.TrackSequential(repairedPair, p, opt)
+		if err != nil {
+			return nil, err
+		}
+		cfg.MaxEps = epsQuantile(res.Err, 0.98)
+	}
+	return &Result{Flow: res.Flow, Z1: z1, Repaired: totalRepaired}, nil
+}

@@ -1,0 +1,132 @@
+package coupled
+
+import (
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+// corruptedStereoPair builds a translation scene whose z1 surface has a
+// stereo-dropout region (a block of wrong heights).
+func corruptedStereoPair(w, h int, seed int64) (pair core.Pair, z1Clean *grid.Grid) {
+	s := &synth.Scene{W: w, H: h, Flow: synth.Uniform{U: 2, V: 0},
+		Tex: synth.Hurricane(w, h, seed).Tex}
+	i0 := s.Frame(0)
+	i1 := s.Frame(1)
+	height := func(img *grid.Grid) *grid.Grid {
+		z := img.GaussianBlur(2)
+		z.Apply(func(v float32) float32 { return v * 0.05 })
+		return z
+	}
+	z0 := height(i0)
+	z1Clean = height(i1)
+	z1 := z1Clean.Clone()
+	for y := 12; y < 18; y++ {
+		for x := 12; x < 18; x++ {
+			z1.Set(x, y, 0) // dropout
+		}
+	}
+	return core.Pair{I0: i0, I1: i1, Z0: z0, Z1: z1}, z1Clean
+}
+
+func TestConsistencyFlagsDropout(t *testing.T) {
+	pair, _ := corruptedStereoPair(40, 40, 3)
+	truth := grid.NewVectorField(40, 40)
+	truth.U.Fill(2)
+	cons, err := Consistency(truth, pair.Z0, pair.Z1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dropout pre-image (shifted by −2 in x) must score high,
+	// far pixels low. Pixel (13,15) maps into the dropout.
+	if v := cons.At(13, 15); v < 1 {
+		t.Fatalf("dropout consistency %v, want large", v)
+	}
+	if v := cons.At(30, 30); v > 0.5 {
+		t.Fatalf("clean-region consistency %v, want small", v)
+	}
+}
+
+func TestConsistencyValidation(t *testing.T) {
+	f := grid.NewVectorField(8, 8)
+	if _, err := Consistency(f, grid.New(8, 8), grid.New(7, 8)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestRepairReducesSurfaceError(t *testing.T) {
+	pair, z1Clean := corruptedStereoPair(40, 40, 5)
+	truth := grid.NewVectorField(40, 40)
+	truth.U.Fill(2)
+	before := pair.Z1.RMSDiff(z1Clean)
+	repaired, n, err := Repair(truth, nil, pair.Z0, pair.Z1, RepairConfig{Thresh: 0.5, Margin: 5, Window: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing repaired")
+	}
+	after := repaired.RMSDiff(z1Clean)
+	if after >= before {
+		t.Fatalf("repair did not reduce surface error: %v → %v", before, after)
+	}
+}
+
+func TestCoupledTrackImprovesOverPlain(t *testing.T) {
+	pair, z1Clean := corruptedStereoPair(40, 40, 7)
+	p := core.Params{NS: 2, NZS: 2, NZT: 3, NST: 2, NSS: 0}
+	res, err := Track(pair, p, core.Options{}, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Z1.RMSDiff(z1Clean) >= pair.Z1.RMSDiff(z1Clean) {
+		t.Fatal("coupling did not improve the surface")
+	}
+	// The flow must remain overwhelmingly correct.
+	good, tot := 0, 0
+	for y := 8; y < 32; y++ {
+		for x := 8; x < 32; x++ {
+			tot++
+			if u, v := res.Flow.At(x, y); u == 2 && v == 0 {
+				good++
+			}
+		}
+	}
+	if good*10 < tot*8 {
+		t.Fatalf("coupled flow correct on only %d/%d", good, tot)
+	}
+}
+
+func TestTrackValidation(t *testing.T) {
+	pair, _ := corruptedStereoPair(24, 24, 9)
+	p := core.Params{NS: 2, NZS: 2, NZT: 3}
+	if _, err := Track(pair, p, core.Options{}, 0.5, 0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestRepairNoopOnConsistentSurfaces(t *testing.T) {
+	s := &synth.Scene{W: 32, H: 32, Flow: synth.Uniform{U: 1, V: 0},
+		Tex: synth.Hurricane(32, 32, 11).Tex}
+	height := func(img *grid.Grid) *grid.Grid {
+		z := img.GaussianBlur(2)
+		z.Apply(func(v float32) float32 { return v * 0.05 })
+		return z
+	}
+	z0 := height(s.Frame(0))
+	z1 := height(s.Frame(1))
+	truth := grid.NewVectorField(32, 32)
+	truth.U.Fill(1)
+	repaired, n, err := Repair(truth, nil, z0, z1, RepairConfig{Thresh: 2.0, Margin: 5, Window: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("repaired %d samples of a consistent pair", n)
+	}
+	if !repaired.Equal(z1) {
+		t.Fatal("no-op repair changed the surface")
+	}
+}

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"math"
+
+	"sma/internal/core"
+	"sma/internal/flow"
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+// BaselineRow scores one motion estimator on the multi-layer scene.
+type BaselineRow struct {
+	Name     string
+	RMSE     float64 // interior, px, vs per-layer ground truth
+	AAE      float64 // mean angular error, degrees (Barron et al. metric)
+	ExactPct float64 // % of interior pixels with the exact integer motion
+}
+
+// BaselineComparison runs the estimator line-up the paper's introduction
+// situates SMA against — the continuous model, Horn–Schunck global
+// optical flow (reference [2]'s algorithm) and rigid block matching —
+// on the two-layer cloud scene that motivates the semi-fluid model.
+// Layer motions are integers so "exact correspondence" is well defined.
+func BaselineComparison(size int, seed int64) ([]BaselineRow, error) {
+	ml := synth.NewMultiLayer(size, size, seed)
+	ml.Upper.Flow = synth.Uniform{U: 2, V: 0}
+	ml.Lower.Flow = synth.Uniform{U: -1, V: -1}
+	f0 := ml.Frame(0)
+	f1 := ml.Frame(1)
+	truth := ml.Truth(0, 1)
+	pair := core.Monocular(f0, f1)
+
+	semiP := core.ScaledParams()
+	contP := semiP
+	contP.NSS = 0
+	semi, err := core.TrackSequential(pair, semiP, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cont, err := core.TrackSequential(pair, contP, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	hs, err := flow.HornSchunck(f0, f1, flow.DefaultHSConfig())
+	if err != nil {
+		return nil, err
+	}
+	bm, err := flow.BlockMatch(f0, f1, flow.DefaultBMConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	margin := size / 8
+	in := size - 2*margin
+	crop := func(f *grid.VectorField) *grid.VectorField {
+		return &grid.VectorField{
+			U: f.U.Crop(margin, margin, in, in),
+			V: f.V.Crop(margin, margin, in, in),
+		}
+	}
+	truthIn := crop(truth)
+	score := func(name string, f *grid.VectorField) BaselineRow {
+		var s float64
+		n, exact := 0, 0
+		for y := margin; y < size-margin; y++ {
+			for x := margin; x < size-margin; x++ {
+				u, v := f.At(x, y)
+				tu, tv := truth.At(x, y)
+				du := float64(u - tu)
+				dv := float64(v - tv)
+				s += du*du + dv*dv
+				if du == 0 && dv == 0 {
+					exact++
+				}
+				n++
+			}
+		}
+		return BaselineRow{
+			Name:     name,
+			RMSE:     math.Sqrt(s / float64(n)),
+			AAE:      crop(f).AngularError(truthIn),
+			ExactPct: 100 * float64(exact) / float64(n),
+		}
+	}
+	return []BaselineRow{
+		score("SMA semi-fluid", semi.Flow),
+		score("SMA semi-fluid + median", semi.Flow.Median3()),
+		score("SMA continuous", cont.Flow),
+		score("Horn-Schunck [2]", hs),
+		score("block matching (rigid)", bm),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"sma/internal/grid"
+)
+
+func TestQuiverStepLargerThanField(t *testing.T) {
+	f := grid.NewVectorField(4, 4)
+	f.U.Fill(2)
+	q := Quiver(f, 100)
+	// One sample row at most; never panics, never empty.
+	if q == "" {
+		t.Fatal("oversized step produced empty quiver")
+	}
+}
+
+func TestQuiverStepZeroClamped(t *testing.T) {
+	f := grid.NewVectorField(3, 3)
+	q := Quiver(f, 0)
+	if strings.Count(q, "\n") != 3 {
+		t.Fatalf("step-0 quiver has %d rows, want 3 (clamped to 1)", strings.Count(q, "\n"))
+	}
+}
+
+func TestTable2DeterministicAcrossCalls(t *testing.T) {
+	a, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ModeledTotal != b.ModeledTotal || a.SpeedupModel != b.SpeedupModel {
+		t.Fatal("Table 2 model not deterministic")
+	}
+}
+
+func TestSegmentationAblationDefaultBudgets(t *testing.T) {
+	rows := SegmentationAblation(nil)
+	if len(rows) != 4 {
+		t.Fatalf("default budgets produced %d rows", len(rows))
+	}
+	if rows[len(rows)-1].Err == "" {
+		t.Fatal("smallest default budget should be infeasible")
+	}
+}
+
+func TestWindBarbBarbCount(t *testing.T) {
+	// Even at a small size the experiment must find its 32 tracers.
+	r, err := WindBarbExperiment(48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Barbs) != 32 {
+		t.Fatalf("%d barbs at size 48", len(r.Barbs))
+	}
+}
+
+func TestFigure4DefaultWindows(t *testing.T) {
+	pts, err := Figure4([]int{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Window != 11 {
+		t.Fatalf("explicit window list mishandled: %+v", pts)
+	}
+}

@@ -1,0 +1,270 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sma/internal/grid"
+)
+
+func TestTable1MatchesPaperWindows(t *testing.T) {
+	rows := Table1()
+	want := map[string]string{
+		"Surface-fitting":     "5 x 5",
+		"z-Search area":       "13 x 13",
+		"z-Template":          "121 x 121",
+		"Semi-fluid template": "5 x 5",
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("Table 1 has %d rows, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		if want[r.Name] != r.Window {
+			t.Errorf("%s window %q, want %q", r.Name, r.Window, want[r.Name])
+		}
+	}
+}
+
+func TestTable3MatchesPaperWindows(t *testing.T) {
+	rows := Table3()
+	want := map[string]string{
+		"Search Area":   "15 x 15",
+		"Template":      "15 x 15",
+		"Surface-patch": "5 x 5",
+	}
+	for _, r := range rows {
+		if want[r.Name] != r.Window {
+			t.Errorf("%s window %q, want %q", r.Name, r.Window, want[r.Name])
+		}
+	}
+}
+
+func TestTable2ReproducesShape(t *testing.T) {
+	tb, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hypothesis matching dominates; semi-fluid mapping next; surface fit
+	// and geometric variables negligible — Table 2's structure.
+	var fit, geom, semi, hyp time.Duration
+	for _, r := range tb.Rows {
+		switch r.Subroutine {
+		case "Surface fit":
+			fit = r.Modeled
+		case "Compute geometric variables":
+			geom = r.Modeled
+		case "Semi-fluid mapping":
+			semi = r.Modeled
+		case "Hypothesis matching":
+			hyp = r.Modeled
+		}
+	}
+	if !(hyp > 100*semi && semi > 10*fit && fit > geom) {
+		t.Fatalf("stage ordering broken: fit=%v geom=%v semi=%v hyp=%v", fit, geom, semi, hyp)
+	}
+	// Total within 2× of the paper's 9.298 h.
+	ratio := float64(tb.ModeledTotal) / float64(tb.PaperTotal)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("modeled total %v vs paper %v (ratio %.2f)", tb.ModeledTotal, tb.PaperTotal, ratio)
+	}
+	// Sequential projection within 30% of 397.34 days.
+	sr := float64(tb.SeqModeled) / float64(tb.SeqPaper)
+	if sr < 0.7 || sr > 1.3 {
+		t.Fatalf("modeled sequential %v vs paper %v (ratio %.2f)", tb.SeqModeled, tb.SeqPaper, sr)
+	}
+	// Speedup of the right magnitude (paper: 1025, "over three orders").
+	if tb.SpeedupModel < 700 || tb.SpeedupModel > 1600 {
+		t.Fatalf("modeled speedup %.0f not within [700,1600] around paper's 1025", tb.SpeedupModel)
+	}
+	// Frederic ran unsegmented (Z = 2·Nzs+1 = 13).
+	if tb.Plan.Segments != 1 || tb.Plan.Z != 13 {
+		t.Fatalf("plan %+v, want unsegmented Z=13", tb.Plan)
+	}
+}
+
+func TestTable4ReproducesShape(t *testing.T) {
+	tb, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(tb.ModeledTotal) / float64(tb.PaperTotal)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("modeled total %v vs paper %v (ratio %.2f)", tb.ModeledTotal, tb.PaperTotal, ratio)
+	}
+	sr := float64(tb.SeqModeled) / float64(tb.SeqPaper)
+	if sr < 0.6 || sr > 1.6 {
+		t.Fatalf("modeled sequential %v vs paper %v (ratio %.2f)", tb.SeqModeled, tb.SeqPaper, sr)
+	}
+	// The continuous-model gain is far below the semi-fluid gain
+	// (193 vs 1025 in the paper) because the heavily optimized semi-fluid
+	// mapping stage is absent.
+	t2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.SpeedupModel >= t2.SpeedupModel/2 {
+		t.Fatalf("continuous speedup %.0f not well below semi-fluid %.0f",
+			tb.SpeedupModel, t2.SpeedupModel)
+	}
+}
+
+func TestLuisThroughput(t *testing.T) {
+	l, err := Luis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ≈6 min per pair, speedup over 150.
+	if l.PerPairModel > 3*l.PerPairPaper || l.PerPairModel < l.PerPairPaper/4 {
+		t.Fatalf("per-pair modeled %v vs paper %v", l.PerPairModel, l.PerPairPaper)
+	}
+	if l.SpeedupModel < 150 {
+		t.Fatalf("Luis modeled speedup %.0f below the paper's >150 claim", l.SpeedupModel)
+	}
+}
+
+func TestFigure4MonotoneSuperlinear(t *testing.T) {
+	pts, err := Figure4([]int{11, 31, 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Modeled <= pts[i-1].Modeled {
+			t.Fatalf("modeled series not increasing: %v", pts)
+		}
+		if pts[i].Measured <= pts[i-1].Measured {
+			t.Fatalf("measured series not increasing: %v", pts)
+		}
+	}
+	// Superlinear in window edge: going 11→51 multiplies area by ~21.5;
+	// time must grow at least ~area/2 on both series.
+	if float64(pts[2].Measured) < 8*float64(pts[0].Measured) {
+		t.Fatalf("measured growth too shallow: %v → %v", pts[0].Measured, pts[2].Measured)
+	}
+}
+
+func TestFigure4RejectsEvenWindows(t *testing.T) {
+	if _, err := Figure4([]int{10}); err == nil {
+		t.Fatal("even window accepted")
+	}
+}
+
+func TestWindBarbExperimentMeetsPaperAccuracy(t *testing.T) {
+	res, err := WindBarbExperiment(64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Barbs) != 32 {
+		t.Fatalf("%d barbs, want 32 (the paper's count)", len(res.Barbs))
+	}
+	// "root-mean-squared error of less than one pixel with respect to the
+	// manual estimates".
+	if res.RMSE >= 1.0 {
+		t.Fatalf("barb RMSE %.3f px, want < 1", res.RMSE)
+	}
+	// "The parallel algorithm obtained the same result as the sequential
+	// implementation."
+	if !res.ParallelEqual {
+		t.Fatal("parallel and sequential results differ")
+	}
+	if res.StereoRMSE > 1.0 {
+		t.Fatalf("ASA disparity RMSE %.3f px too large", res.StereoRMSE)
+	}
+}
+
+func TestFigure6TracksThunderstorm(t *testing.T) {
+	steps, err := Figure6(48, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("got %d steps", len(steps))
+	}
+	for _, s := range steps {
+		if s.RMSE >= 1.2 {
+			t.Fatalf("step %d RMSE %.3f px", s.T, s.RMSE)
+		}
+		if !strings.Contains(s.Quiver, "\n") {
+			t.Fatalf("step %d has no quiver rendering", s.T)
+		}
+	}
+}
+
+func TestQuiverGlyphs(t *testing.T) {
+	f := grid.NewVectorField(8, 8)
+	f.U.Fill(2) // uniform eastward flow
+	q := Quiver(f, 4)
+	if !strings.Contains(q, "→") {
+		t.Fatalf("eastward flow rendered as %q", q)
+	}
+	f2 := grid.NewVectorField(8, 8)
+	f2.V.Fill(2) // southward (screen-down) flow
+	if q2 := Quiver(f2, 4); !strings.Contains(q2, "↓") {
+		t.Fatalf("southward flow rendered as %q", q2)
+	}
+	zero := grid.NewVectorField(8, 8)
+	if qz := Quiver(zero, 4); !strings.Contains(qz, "·") {
+		t.Fatalf("zero flow rendered as %q", qz)
+	}
+}
+
+func TestReadoutAblationOrdering(t *testing.T) {
+	rows := ReadoutAblation(60)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	paper := byName["hierarchical + raster (paper's choice)"]
+	for name, r := range byName {
+		if name == paper.Name {
+			continue
+		}
+		if paper.Time >= r.Time {
+			t.Fatalf("paper's choice (%v) not faster than %s (%v)", paper.Time, name, r.Time)
+		}
+	}
+	// §4.2's argument quantified: mesh transfers beat the router by an
+	// order of magnitude for neighborhood traffic.
+	router := byName["hierarchical + global router (rejected)"]
+	if router.Time < 10*paper.Time {
+		t.Fatalf("router fetch %v not ≥10× the mesh fetch %v", router.Time, paper.Time)
+	}
+}
+
+func TestSegmentationAblation(t *testing.T) {
+	rows := SegmentationAblation([]int{64 * 1024, 8 * 1024, 2 * 1024})
+	if rows[0].Segments != 1 {
+		t.Fatalf("64 KB row segmented: %+v", rows[0])
+	}
+	if rows[1].Err != "" {
+		t.Fatalf("8 KB row errored: %v", rows[1].Err)
+	}
+	if rows[1].Segments <= rows[0].Segments {
+		t.Fatalf("8 KB not more segmented than 64 KB: %+v vs %+v", rows[1], rows[0])
+	}
+	if rows[1].Total <= rows[0].Total {
+		t.Fatalf("segmented run not slower: %v vs %v", rows[1].Total, rows[0].Total)
+	}
+	if rows[2].Err == "" {
+		t.Fatal("2 KB budget should be infeasible")
+	}
+}
+
+func TestTimingTableFormat(t *testing.T) {
+	tb, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Format()
+	for _, want := range []string{"Subroutine", "Hypothesis matching", "Speedup", "193"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package flow
+
+import (
+	"fmt"
+
+	"sma/internal/grid"
+)
+
+// BMConfig parameterizes block-matching flow estimation.
+type BMConfig struct {
+	// TemplateRadius: (2r+1)² correlation template.
+	TemplateRadius int
+	// SearchRadius: displacement search is (2r+1)² candidates.
+	SearchRadius int
+	// Subpixel enables separable parabolic refinement of the best match.
+	Subpixel bool
+}
+
+// DefaultBMConfig matches the SMA tracker's typical window scale.
+func DefaultBMConfig() BMConfig { return BMConfig{TemplateRadius: 3, SearchRadius: 4, Subpixel: true} }
+
+// BlockMatch estimates per-pixel displacement from img1 to img2 by rigid
+// template correlation: for every pixel the (2r+1)² template is compared
+// (SSD) against all candidate positions in the search window. This is the
+// "rigid motion" comparator: it assumes each local patch translates
+// without deformation.
+func BlockMatch(img1, img2 *grid.Grid, cfg BMConfig) (*grid.VectorField, error) {
+	if img1.W != img2.W || img1.H != img2.H {
+		return nil, fmt.Errorf("flow: image sizes differ: %dx%d vs %dx%d", img1.W, img1.H, img2.W, img2.H)
+	}
+	if cfg.TemplateRadius < 1 || cfg.SearchRadius < 1 {
+		return nil, fmt.Errorf("flow: radii must be positive: %+v", cfg)
+	}
+	w, h := img1.W, img1.H
+	out := grid.NewVectorField(w, h)
+	nt := cfg.TemplateRadius
+	ns := cfg.SearchRadius
+	side := 2*ns + 1
+	scores := make([]float64, side*side)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			bestK := -1
+			best := 1e30
+			k := 0
+			for dv := -ns; dv <= ns; dv++ {
+				for du := -ns; du <= ns; du++ {
+					var s float64
+					for ty := -nt; ty <= nt; ty++ {
+						for tx := -nt; tx <= nt; tx++ {
+							d := float64(img1.At(x+tx, y+ty) - img2.At(x+du+tx, y+dv+ty))
+							s += d * d
+						}
+					}
+					scores[k] = s
+					if s < best {
+						best = s
+						bestK = k
+					}
+					k++
+				}
+			}
+			du := bestK%side - ns
+			dv := bestK/side - ns
+			fu, fv := float64(du), float64(dv)
+			if cfg.Subpixel {
+				if du > -ns && du < ns {
+					fu += parabolic(scores[bestK-1], scores[bestK], scores[bestK+1])
+				}
+				if dv > -ns && dv < ns {
+					fv += parabolic(scores[bestK-side], scores[bestK], scores[bestK+side])
+				}
+			}
+			out.Set(x, y, float32(fu), float32(fv))
+		}
+	}
+	return out, nil
+}
+
+// parabolic returns the sub-sample offset of a parabola's extremum through
+// three equally spaced scores, clamped to ±0.5.
+func parabolic(sm, s0, sp float64) float64 {
+	den := sm - 2*s0 + sp
+	if den <= 1e-12 {
+		return 0
+	}
+	off := 0.5 * (sm - sp) / den
+	if off > 0.5 {
+		off = 0.5
+	} else if off < -0.5 {
+		off = -0.5
+	}
+	return off
+}

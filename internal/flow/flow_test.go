@@ -1,0 +1,177 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+// translatePair renders a scene frame and its uniformly translated copy.
+func translatePair(w, h int, seed int64, u, v float64) (*grid.Grid, *grid.Grid) {
+	s := &synth.Scene{W: w, H: h, Flow: synth.Uniform{U: u, V: v},
+		Tex: synth.Hurricane(w, h, seed).Tex}
+	return s.Frame(0), s.Frame(1)
+}
+
+func TestHornSchunckSizeMismatch(t *testing.T) {
+	if _, err := HornSchunck(grid.New(4, 4), grid.New(5, 4), DefaultHSConfig()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestHornSchunckBadIterations(t *testing.T) {
+	cfg := DefaultHSConfig()
+	cfg.Iterations = 0
+	if _, err := HornSchunck(grid.New(4, 4), grid.New(4, 4), cfg); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestHornSchunckSubpixelTranslation(t *testing.T) {
+	a, b := translatePair(64, 64, 41, 0.5, -0.3)
+	f, err := HornSchunck(a, b, DefaultHSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horn–Schunck handles sub-pixel motion well in the interior.
+	var su, sv float64
+	n := 0
+	for y := 12; y < 52; y++ {
+		for x := 12; x < 52; x++ {
+			u, v := f.At(x, y)
+			su += float64(u)
+			sv += float64(v)
+			n++
+		}
+	}
+	su /= float64(n)
+	sv /= float64(n)
+	if math.Abs(su-0.5) > 0.2 || math.Abs(sv+0.3) > 0.2 {
+		t.Fatalf("mean flow (%v,%v), want (0.5,-0.3)", su, sv)
+	}
+}
+
+func TestHornSchunckZeroMotion(t *testing.T) {
+	a, _ := translatePair(32, 32, 43, 0, 0)
+	f, err := HornSchunck(a, a.Clone(), DefaultHSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := f.MeanMagnitude(); m > 1e-3 {
+		t.Fatalf("zero-motion mean magnitude %v", m)
+	}
+}
+
+func TestHornSchunckSmoothness(t *testing.T) {
+	// Larger alpha must produce a smoother (lower-variance) field.
+	a, b := translatePair(48, 48, 47, 1, 0)
+	rough, err := HornSchunck(a, b, HSConfig{Alpha: 1, Iterations: 60, PreSmooth: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := HornSchunck(a, b, HSConfig{Alpha: 30, Iterations: 60, PreSmooth: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varU := func(f *grid.VectorField) float64 {
+		m := f.U.Mean()
+		var s float64
+		for _, v := range f.U.Data {
+			d := float64(v) - m
+			s += d * d
+		}
+		return s / float64(len(f.U.Data))
+	}
+	if varU(smooth) >= varU(rough) {
+		t.Fatalf("alpha=30 variance %v not below alpha=1 variance %v", varU(smooth), varU(rough))
+	}
+}
+
+func TestBlockMatchIntegerTranslation(t *testing.T) {
+	a, b := translatePair(64, 64, 53, 2, -1)
+	f, err := BlockMatch(a, b, DefaultBMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := grid.NewVectorField(64, 64)
+	truth.U.Fill(2)
+	truth.V.Fill(-1)
+	// Compare interior.
+	var bad int
+	for y := 10; y < 54; y++ {
+		for x := 10; x < 54; x++ {
+			u, v := f.At(x, y)
+			if math.Abs(float64(u)-2) > 0.5 || math.Abs(float64(v)+1) > 0.5 {
+				bad++
+			}
+		}
+	}
+	if frac := float64(bad) / (44.0 * 44.0); frac > 0.05 {
+		t.Fatalf("%.1f%% of interior pixels mismatched", frac*100)
+	}
+}
+
+func TestBlockMatchSubpixel(t *testing.T) {
+	a, b := translatePair(64, 64, 59, 1.5, 0.5)
+	cfg := DefaultBMConfig()
+	f, err := BlockMatch(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var su, sv float64
+	n := 0
+	for y := 12; y < 52; y++ {
+		for x := 12; x < 52; x++ {
+			u, v := f.At(x, y)
+			su += float64(u)
+			sv += float64(v)
+			n++
+		}
+	}
+	su /= float64(n)
+	sv /= float64(n)
+	if math.Abs(su-1.5) > 0.25 || math.Abs(sv-0.5) > 0.25 {
+		t.Fatalf("mean flow (%v,%v), want (1.5,0.5)", su, sv)
+	}
+}
+
+func TestBlockMatchConfigValidation(t *testing.T) {
+	a := grid.New(8, 8)
+	if _, err := BlockMatch(a, a, BMConfig{TemplateRadius: 0, SearchRadius: 2}); err == nil {
+		t.Fatal("zero template radius accepted")
+	}
+	if _, err := BlockMatch(a, grid.New(9, 8), DefaultBMConfig()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestHornSchunckOversmoothsMultiLayer(t *testing.T) {
+	// The motivating failure: a two-layer scene with opposing layer
+	// motions. Global smoothness drags estimates toward a compromise, so
+	// Horn–Schunck's error against the per-layer truth must be
+	// substantially worse than on an equally textured single-layer scene.
+	ml := synth.NewMultiLayer(64, 64, 61)
+	a := ml.Frame(0)
+	b := ml.Frame(1)
+	truth := ml.Truth(0, 1)
+	f, err := HornSchunck(a, b, DefaultHSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlErr := f.RMSE(truth)
+
+	sa, sb := translatePair(64, 64, 61, 1.8, 0.2)
+	sf, err := HornSchunck(sa, sb, DefaultHSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := grid.NewVectorField(64, 64)
+	st.U.Fill(1.8)
+	st.V.Fill(0.2)
+	singleErr := sf.RMSE(st)
+	if mlErr < 1.5*singleErr {
+		t.Fatalf("multilayer HS error %v not clearly worse than single-layer %v", mlErr, singleErr)
+	}
+}

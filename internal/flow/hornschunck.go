@@ -1,0 +1,82 @@
+// Package flow provides the standard optical-flow baselines the semi-fluid
+// motion model is motivated against: the Horn–Schunck global-smoothness
+// method (whose MasPar MP-2 implementation is the paper's reference [2])
+// and a rigid block-matching correlation tracker. Both assume kinds of
+// coherence — global smoothness and local rigidity respectively — that
+// multi-layer and fluid cloud motion violates, which the eval experiments
+// demonstrate against the SMA tracker.
+package flow
+
+import (
+	"fmt"
+
+	"sma/internal/grid"
+)
+
+// HSConfig parameterizes Horn–Schunck estimation.
+type HSConfig struct {
+	// Alpha is the smoothness weight (larger = smoother fields).
+	Alpha float64
+	// Iterations of the Jacobi relaxation.
+	Iterations int
+	// PreSmooth optionally Gaussian-smooths inputs (σ; 0 disables).
+	PreSmooth float64
+}
+
+// DefaultHSConfig returns the classic parameterization.
+func DefaultHSConfig() HSConfig { return HSConfig{Alpha: 10, Iterations: 100, PreSmooth: 0.8} }
+
+// HornSchunck estimates the dense optical flow carrying img1 to img2 by
+// minimizing the brightness-constancy residual plus α²·(flow smoothness),
+// via Jacobi iterations of the Euler–Lagrange equations.
+func HornSchunck(img1, img2 *grid.Grid, cfg HSConfig) (*grid.VectorField, error) {
+	if img1.W != img2.W || img1.H != img2.H {
+		return nil, fmt.Errorf("flow: image sizes differ: %dx%d vs %dx%d", img1.W, img1.H, img2.W, img2.H)
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("flow: need at least one iteration")
+	}
+	a := img1
+	b := img2
+	if cfg.PreSmooth > 0 {
+		a = img1.GaussianBlur(cfg.PreSmooth)
+		b = img2.GaussianBlur(cfg.PreSmooth)
+	}
+	w, h := a.W, a.H
+	// Horn–Schunck derivative estimates averaged over the two frames.
+	ex := grid.New(w, h)
+	ey := grid.New(w, h)
+	et := grid.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			ex.Data[i] = (a.At(x+1, y) - a.At(x-1, y) + b.At(x+1, y) - b.At(x-1, y)) / 4
+			ey.Data[i] = (a.At(x, y+1) - a.At(x, y-1) + b.At(x, y+1) - b.At(x, y-1)) / 4
+			et.Data[i] = b.AtUnchecked(x, y) - a.AtUnchecked(x, y)
+		}
+	}
+	u := grid.New(w, h)
+	v := grid.New(w, h)
+	alpha2 := float32(cfg.Alpha * cfg.Alpha)
+	for it := 0; it < cfg.Iterations; it++ {
+		nu := grid.New(w, h)
+		nv := grid.New(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				// 4-neighbor local flow averages.
+				ub := (u.At(x-1, y) + u.At(x+1, y) + u.At(x, y-1) + u.At(x, y+1)) / 4
+				vb := (v.At(x-1, y) + v.At(x+1, y) + v.At(x, y-1) + v.At(x, y+1)) / 4
+				fx := ex.Data[i]
+				fy := ey.Data[i]
+				ft := et.Data[i]
+				num := fx*ub + fy*vb + ft
+				den := alpha2 + fx*fx + fy*fy
+				nu.Data[i] = ub - fx*num/den
+				nv.Data[i] = vb - fy*num/den
+			}
+		}
+		u, v = nu, nv
+	}
+	return &grid.VectorField{U: u, V: v}, nil
+}

@@ -1,0 +1,113 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"sma/internal/grid"
+	"sma/internal/maspar"
+	"sma/internal/synth"
+)
+
+func TestHornSchunckMasParMatchesHostInterior(t *testing.T) {
+	a, b := translatePair(32, 32, 67, 0.8, -0.4)
+	// Boundary conditions differ (toroidal X-net vs clamped host), and
+	// each Jacobi iteration propagates boundary influence one pixel
+	// inward — so keep iterations below the comparison margin, where the
+	// two implementations must then agree to float precision.
+	cfg := DefaultHSConfig()
+	cfg.Iterations = 8
+	host, err := HornSchunck(a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := maspar.New(maspar.ScaledConfig(32, 32))
+	simd, err := HornSchunckMasPar(m, a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxd float64
+	for y := 10; y < 22; y++ {
+		for x := 10; x < 22; x++ {
+			hu, hv := host.At(x, y)
+			su, sv := simd.At(x, y)
+			d := math.Max(math.Abs(float64(hu-su)), math.Abs(float64(hv-sv)))
+			if d > maxd {
+				maxd = d
+			}
+		}
+	}
+	if maxd > 1e-4 {
+		t.Fatalf("SIMD/host interior disagreement %v px", maxd)
+	}
+}
+
+func TestHornSchunckMasParRecoversTranslation(t *testing.T) {
+	a, b := translatePair(32, 32, 71, 0.5, 0.3)
+	m := maspar.New(maspar.ScaledConfig(32, 32))
+	f, err := HornSchunckMasPar(m, a, b, DefaultHSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var su, sv float64
+	n := 0
+	for y := 8; y < 24; y++ {
+		for x := 8; x < 24; x++ {
+			u, v := f.At(x, y)
+			su += float64(u)
+			sv += float64(v)
+			n++
+		}
+	}
+	su /= float64(n)
+	sv /= float64(n)
+	if math.Abs(su-0.5) > 0.2 || math.Abs(sv-0.3) > 0.2 {
+		t.Fatalf("mean SIMD flow (%v,%v), want (0.5,0.3)", su, sv)
+	}
+}
+
+func TestHornSchunckMasParChargesCommunication(t *testing.T) {
+	a, b := translatePair(16, 16, 73, 1, 0)
+	m := maspar.New(maspar.ScaledConfig(16, 16))
+	cfg := DefaultHSConfig()
+	cfg.Iterations = 10
+	if _, err := HornSchunckMasPar(m, a, b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// 8 shifts per iteration (two 4-neighbor averages) plus 8 for the
+	// derivative stencils.
+	wantShifts := int64(10*8 + 8)
+	if m.Cost.XNetShifts != wantShifts {
+		t.Fatalf("XNetShifts = %d, want %d", m.Cost.XNetShifts, wantShifts)
+	}
+	if m.Cost.PluralFlops == 0 {
+		t.Fatal("no plural instructions charged")
+	}
+}
+
+func TestHornSchunckMasParValidation(t *testing.T) {
+	m := maspar.New(maspar.ScaledConfig(8, 8))
+	g := grid.New(16, 16) // does not match the 8×8 PE array
+	if _, err := HornSchunckMasPar(m, g, g, DefaultHSConfig()); err == nil {
+		t.Fatal("mismatched image/PE-array size accepted")
+	}
+	h := grid.New(8, 8)
+	cfg := DefaultHSConfig()
+	cfg.Iterations = 0
+	if _, err := HornSchunckMasPar(m, h, h, cfg); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestHornSchunckMasParZeroMotion(t *testing.T) {
+	s := synth.Hurricane(16, 16, 77)
+	a := s.Frame(0)
+	m := maspar.New(maspar.ScaledConfig(16, 16))
+	f, err := HornSchunckMasPar(m, a, a.Clone(), DefaultHSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mag := f.MeanMagnitude(); mag > 1e-3 {
+		t.Fatalf("zero motion produced mean magnitude %v", mag)
+	}
+}

@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTanZenithNadir(t *testing.T) {
+	s := Stereo{SatLonEast: 0, SatLonWest: 0, TargetLon: 0, KmPerPixel: 1}
+	tz, err := s.TanZenith(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tz != 0 {
+		t.Fatalf("nadir tan zenith = %v, want 0", tz)
+	}
+}
+
+func TestTanZenithMonotone(t *testing.T) {
+	s := Frederic()
+	prev := -1.0
+	for d := 5.0; d <= 80; d += 5 {
+		s2 := s
+		s2.SatLonEast = d
+		tz, err := s2.TanZenith(d)
+		if err != nil {
+			t.Fatalf("Δ=%v: %v", d, err)
+		}
+		if tz <= prev {
+			t.Fatalf("tan zenith not increasing at Δ=%v", d)
+		}
+		prev = tz
+	}
+}
+
+func TestTanZenithBeyondHorizon(t *testing.T) {
+	s := Frederic()
+	if _, err := s.TanZenith(89); err == nil {
+		t.Fatal("beyond-horizon geometry accepted")
+	}
+}
+
+func TestFredericDisparityRoundTrip(t *testing.T) {
+	s := Frederic()
+	d, err := s.DisparityFromHeight(12) // a tall convective top
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("disparity %v, want positive", d)
+	}
+	h, err := s.HeightFromDisparity(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-12) > 1e-9 {
+		t.Fatalf("round trip height %v, want 12", h)
+	}
+}
+
+func TestFredericBaselineIsStrong(t *testing.T) {
+	// The 135° baseline was chosen for height sensitivity: each km of
+	// cloud height should produce well over a pixel of disparity at 1 km
+	// sampling (tan 67.5°-ish viewing angles on both sides).
+	s := Frederic()
+	dpk, err := s.DisparityPerKm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpk < 2 {
+		t.Fatalf("disparity per km = %v px, expected a strong baseline (> 2)", dpk)
+	}
+	// And a narrow baseline is much weaker.
+	narrow := Stereo{SatLonEast: 10, SatLonWest: -10, KmPerPixel: 1}
+	ndpk, err := narrow.DisparityPerKm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndpk >= dpk/3 {
+		t.Fatalf("20° baseline %v px/km not clearly below 135° baseline %v", ndpk, dpk)
+	}
+}
+
+func TestDisparityPerKmValidation(t *testing.T) {
+	s := Frederic()
+	s.KmPerPixel = 0
+	if _, err := s.DisparityPerKm(); err == nil {
+		t.Fatal("zero sampling accepted")
+	}
+}
+
+func TestFootprintPaperNumbers(t *testing.T) {
+	// §5.1: ≈1 km at image center, ≈4 km near the borders. A 512-px
+	// region roughly centered on the storm spans tens of degrees; the
+	// border pixels sit at large geocentric angles. Check 1 km at nadir
+	// and ≈4× growth by Δ ≈ 60°.
+	f0, err := FootprintKm(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f0-1) > 1e-9 {
+		t.Fatalf("nadir footprint %v, want 1", f0)
+	}
+	f65, err := FootprintKm(1, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f65 < 3.2 || f65 > 6 {
+		t.Fatalf("footprint at Δ=65° is %.2f km, want ≈4", f65)
+	}
+	// Monotone growth toward the limb.
+	prev := 0.0
+	for d := 0.0; d <= 70; d += 10 {
+		f, err := FootprintKm(1, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f <= prev {
+			t.Fatalf("footprint not growing at Δ=%v", d)
+		}
+		prev = f
+	}
+}
+
+func TestFootprintValidation(t *testing.T) {
+	if _, err := FootprintKm(0, 10); err == nil {
+		t.Fatal("zero nadir footprint accepted")
+	}
+	if _, err := FootprintKm(1, 88); err == nil {
+		t.Fatal("beyond-horizon footprint accepted")
+	}
+}
+
+// Property: height↔disparity is a linear bijection for any valid geometry.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(hRaw uint8, baseRaw uint8) bool {
+		h := float64(hRaw%20) + 0.5
+		base := 10 + float64(baseRaw%60) // 10..70° per side
+		s := Stereo{SatLonEast: base, SatLonWest: -base, KmPerPixel: 1}
+		d, err := s.DisparityFromHeight(h)
+		if err != nil {
+			return false
+		}
+		back, err := s.HeightFromDisparity(d)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-h) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNavNadir(t *testing.T) {
+	n := Nav{SatLon: -75}
+	a, b, err := n.ToScanAngles(0, -75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a) > 1e-12 || math.Abs(b) > 1e-12 {
+		t.Fatalf("nadir scan angles (%v, %v), want (0, 0)", a, b)
+	}
+	lat, lon, err := n.ToLatLon(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat) > 1e-9 || math.Abs(lon+75) > 1e-9 {
+		t.Fatalf("nadir inverse (%v, %v), want (0, -75)", lat, lon)
+	}
+}
+
+func TestNavRoundTrip(t *testing.T) {
+	n := Nav{SatLon: 0}
+	for _, pt := range [][2]float64{{25, 10}, {-30, -20}, {0, 40}, {55, 5}, {10, -50}} {
+		a, b, err := n.ToScanAngles(pt[0], pt[1])
+		if err != nil {
+			t.Fatalf("point %v: %v", pt, err)
+		}
+		lat, lon, err := n.ToLatLon(a, b)
+		if err != nil {
+			t.Fatalf("point %v inverse: %v", pt, err)
+		}
+		if math.Abs(lat-pt[0]) > 1e-6 || math.Abs(lon-pt[1]) > 1e-6 {
+			t.Fatalf("round trip %v → (%v, %v)", pt, lat, lon)
+		}
+	}
+}
+
+func TestNavFarSideRejected(t *testing.T) {
+	n := Nav{SatLon: 0}
+	if _, _, err := n.ToScanAngles(0, 180); err == nil {
+		t.Fatal("antipode accepted")
+	}
+	if _, _, err := n.ToScanAngles(0, 100); err == nil {
+		t.Fatal("beyond-limb longitude accepted")
+	}
+}
+
+func TestNavSpaceLook(t *testing.T) {
+	n := Nav{SatLon: 0}
+	edge := EarthEdgeAngle()
+	if _, _, err := n.ToLatLon(edge*1.05, 0); err == nil {
+		t.Fatal("space look accepted")
+	}
+	if _, _, err := n.ToLatLon(edge*0.95, 0); err != nil {
+		t.Fatalf("near-limb look rejected: %v", err)
+	}
+}
+
+func TestEarthEdgeAngle(t *testing.T) {
+	deg := EarthEdgeAngle() * 180 / math.Pi
+	if deg < 8.5 || deg > 9.0 {
+		t.Fatalf("earth edge at %v°, want ≈8.7°", deg)
+	}
+}
+
+func TestGroundDistance(t *testing.T) {
+	// One degree of longitude at the equator ≈ 111.3 km.
+	d := GroundDistanceKm(0, 0, 0, 1)
+	if d < 110 || d < 0 || d > 112.5 {
+		t.Fatalf("1° equatorial distance %v km", d)
+	}
+	if GroundDistanceKm(12, 34, 12, 34) != 0 {
+		t.Fatal("zero distance broken")
+	}
+	// Symmetry.
+	if math.Abs(GroundDistanceKm(10, 20, 30, 40)-GroundDistanceKm(30, 40, 10, 20)) > 1e-9 {
+		t.Fatal("distance not symmetric")
+	}
+}
+
+// Property: round trip holds across the visible disk.
+func TestPropertyNavRoundTrip(t *testing.T) {
+	n := Nav{SatLon: -100}
+	f := func(latRaw, lonRaw int16) bool {
+		lat := float64(latRaw%60) * 0.9
+		lon := -100 + float64(lonRaw%60)*0.9
+		a, b, err := n.ToScanAngles(lat, lon)
+		if err != nil {
+			return true // outside the guaranteed-visible cone; fine
+		}
+		rlat, rlon, err := n.ToLatLon(a, b)
+		if err != nil {
+			return false
+		}
+		return math.Abs(rlat-lat) < 1e-6 && math.Abs(rlon-lon) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package grid
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPGM exercises the PGM parser against malformed input: it must
+// return an error or a well-formed grid, never panic or allocate absurdly.
+func FuzzReadPGM(f *testing.F) {
+	// Seed with valid and near-valid documents.
+	f.Add([]byte("P5\n2 2\n255\nabcd"))
+	f.Add([]byte("P2\n2 2\n255\n0 1 2 3"))
+	f.Add([]byte("P5\n2 2\n65535\naabbccdd"))
+	f.Add([]byte("P5\n# comment\n2 2\n255\nabcd"))
+	f.Add([]byte("P7\n2 2\n255\nabcd"))
+	f.Add([]byte("P5\n999999 999999\n255\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadPGM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.W <= 0 || g.H <= 0 || len(g.Data) != g.W*g.H {
+			t.Fatalf("parser returned malformed grid %dx%d len %d", g.W, g.H, len(g.Data))
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestConvolve1DDirectionality(t *testing.T) {
+	// An asymmetric kernel applied along x must not mix rows, and along y
+	// must not mix columns.
+	g := New(5, 5)
+	g.Set(2, 2, 1)
+	k := []float32{0, 0, 1} // picks the +1 neighbor (k[r+1])
+	cx := g.Convolve1DX(k)
+	if cx.At(1, 2) != 1 {
+		t.Fatalf("x-convolution misplaced the impulse: %v", cx.Data)
+	}
+	if cx.At(2, 1) != 0 || cx.At(2, 3) != 0 {
+		t.Fatal("x-convolution leaked across rows")
+	}
+	cy := g.Convolve1DY(k)
+	if cy.At(2, 1) != 1 {
+		t.Fatalf("y-convolution misplaced the impulse")
+	}
+}
+
+func TestConvolveEdgeClamping(t *testing.T) {
+	g := New(3, 1)
+	copy(g.Data, []float32{1, 2, 3})
+	k := []float32{0.5, 0, 0.5} // average of the two neighbors
+	c := g.Convolve1DX(k)
+	// At x=0 the left neighbor clamps to itself: (1+2)/2 = 1.5.
+	if c.At(0, 0) != 1.5 {
+		t.Fatalf("edge value %v, want 1.5", c.At(0, 0))
+	}
+}
+
+func TestApplyXYVisitsRowMajor(t *testing.T) {
+	g := New(3, 2)
+	i := 0
+	g.ApplyXY(func(x, y int, _ float32) float32 {
+		want := [][2]int{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}}[i]
+		if x != want[0] || y != want[1] {
+			t.Fatalf("visit %d at (%d,%d), want %v", i, x, y, want)
+		}
+		i++
+		return 0
+	})
+	if i != 6 {
+		t.Fatalf("visited %d pixels", i)
+	}
+}
+
+func TestCropEntirelyOutsideClamps(t *testing.T) {
+	g := New(4, 4)
+	g.Set(3, 3, 9)
+	c := g.Crop(10, 10, 2, 2)
+	for _, v := range c.Data {
+		if v != 9 {
+			t.Fatalf("far crop value %v, want clamped 9", v)
+		}
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	a.Fill(1)
+	b.Fill(3)
+	a.AddScaled(b, 2)
+	for _, v := range a.Data {
+		if v != 7 {
+			t.Fatalf("AddScaled value %v, want 7", v)
+		}
+	}
+}
+
+func TestSubAndMismatchPanic(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	b.Fill(5)
+	d := a.Sub(b)
+	if d.Data[0] != -5 {
+		t.Fatalf("Sub value %v", d.Data[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	a.Sub(New(3, 2))
+}
+
+func TestMeanOfKnownValues(t *testing.T) {
+	g := New(2, 2)
+	copy(g.Data, []float32{1, 2, 3, 4})
+	if m := g.Mean(); math.Abs(m-2.5) > 1e-12 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestVectorFieldMeanMagnitude(t *testing.T) {
+	f := NewVectorField(2, 2)
+	f.U.Fill(3)
+	f.V.Fill(4)
+	if m := f.MeanMagnitude(); math.Abs(m-5) > 1e-9 {
+		t.Fatalf("MeanMagnitude = %v", m)
+	}
+}
+
+func TestVectorFieldMedian3(t *testing.T) {
+	f := NewVectorField(5, 5)
+	f.U.Fill(1)
+	f.Set(2, 2, 50, 0)
+	m := f.Median3()
+	if u, _ := m.At(2, 2); u != 1 {
+		t.Fatalf("median did not remove impulse: %v", u)
+	}
+	if u, _ := f.At(2, 2); u != 50 {
+		t.Fatal("Median3 mutated its input")
+	}
+}
+
+func TestPGM16BitRoundTrip(t *testing.T) {
+	// Write a synthetic 16-bit P5 body and parse it.
+	var buf bytes.Buffer
+	buf.WriteString("P5\n2 2\n65535\n")
+	for _, v := range []uint16{0, 256, 1000, 65535} {
+		buf.WriteByte(byte(v >> 8))
+		buf.WriteByte(byte(v))
+	}
+	g, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 256, 1000, 65535}
+	for i, w := range want {
+		if g.Data[i] != w {
+			t.Fatalf("16-bit sample %d = %v, want %v", i, g.Data[i], w)
+		}
+	}
+}
+
+func TestReadPGMRejectsBadHeader(t *testing.T) {
+	for _, src := range []string{
+		"P5\n0 4\n255\n",   // zero width
+		"P5\n4 4\n70000\n", // maxval too large
+		"P5\n4 x\n255\n",   // non-numeric
+		"P2\n1 1\n255\nzz", // bad ASCII sample
+	} {
+		if _, err := ReadPGM(bytes.NewBufferString(src)); err == nil {
+			t.Errorf("header %q accepted", src)
+		}
+	}
+}
+
+func TestDownsample2OddDimensions(t *testing.T) {
+	g := New(9, 7)
+	d := g.Downsample2()
+	if d.W != 4 || d.H != 3 {
+		t.Fatalf("downsampled to %dx%d", d.W, d.H)
+	}
+}
+
+func TestGaussianKernelZeroSigma(t *testing.T) {
+	k := GaussianKernel(0)
+	if len(k) != 1 || k[0] != 1 {
+		t.Fatalf("σ=0 kernel %v, want identity", k)
+	}
+}
+
+func TestBoxBlurZeroRadiusClones(t *testing.T) {
+	g := New(3, 3)
+	g.Fill(2)
+	b := g.BoxBlur(0)
+	if !b.Equal(g) {
+		t.Fatal("r=0 box blur changed values")
+	}
+	b.Set(0, 0, 9)
+	if g.At(0, 0) == 9 {
+		t.Fatal("r=0 box blur aliased the input")
+	}
+}
+
+func TestAngularErrorIdenticalIsZero(t *testing.T) {
+	f := NewVectorField(4, 4)
+	f.U.Fill(2)
+	f.V.Fill(-1)
+	if ae := f.AngularError(f.Clone()); ae > 1e-9 {
+		t.Fatalf("self angular error %v", ae)
+	}
+}
+
+func TestAngularErrorKnownAngle(t *testing.T) {
+	// (1,0,1) vs (0,1,1): cos = 1/2 → 60°.
+	a := NewVectorField(2, 2)
+	b := NewVectorField(2, 2)
+	a.U.Fill(1)
+	b.V.Fill(1)
+	if ae := a.AngularError(b); math.Abs(ae-60) > 1e-6 {
+		t.Fatalf("angular error %v, want 60", ae)
+	}
+}
+
+func TestAngularErrorPenalizesMagnitude(t *testing.T) {
+	// The space-time formulation penalizes magnitude errors too: (2,0)
+	// vs (1,0) has a nonzero angle.
+	a := NewVectorField(2, 2)
+	b := NewVectorField(2, 2)
+	a.U.Fill(2)
+	b.U.Fill(1)
+	if ae := a.AngularError(b); ae < 5 {
+		t.Fatalf("magnitude mismatch angular error %v too small", ae)
+	}
+}

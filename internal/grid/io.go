@@ -1,0 +1,160 @@
+package grid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WritePGM writes the grid as a binary (P5) PGM image to w, linearly
+// rescaling samples to the 0–255 range. This is the interchange format used
+// by the cmd/ tools for synthetic GOES-like imagery.
+func (g *Grid) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	min, max := g.MinMax()
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	row := make([]byte, g.W)
+	for y := 0; y < g.H; y++ {
+		src := g.Row(y)
+		for x, v := range src {
+			p := (v - min) / span * 255
+			if p < 0 {
+				p = 0
+			} else if p > 255 {
+				p = 255
+			}
+			row[x] = byte(p + 0.5)
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePGMFile writes the grid to path as a binary PGM image.
+func (g *Grid) WritePGMFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WritePGM(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPGM parses a binary (P5) or ASCII (P2) PGM image into a grid with
+// samples in [0, maxval] preserved as float32.
+func ReadPGM(r io.Reader) (*Grid, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("grid: unsupported PGM magic %q", magic)
+	}
+	dims := [3]int{}
+	for i := range dims {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("grid: bad PGM header token %q: %w", tok, err)
+		}
+		dims[i] = v
+	}
+	w, h, maxval := dims[0], dims[1], dims[2]
+	if w <= 0 || h <= 0 || maxval <= 0 || maxval > 65535 {
+		return nil, fmt.Errorf("grid: bad PGM header %dx%d max %d", w, h, maxval)
+	}
+	// Refuse implausible dimensions before allocating: a corrupt header
+	// must not commit gigabytes (found by FuzzReadPGM).
+	const maxPixels = 1 << 26
+	if w > maxPixels/h {
+		return nil, fmt.Errorf("grid: PGM dimensions %dx%d exceed the %d-pixel limit", w, h, maxPixels)
+	}
+	g := New(w, h)
+	if magic == "P2" {
+		for i := range g.Data {
+			tok, err := pgmToken(br)
+			if err != nil {
+				return nil, err
+			}
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("grid: bad PGM sample %q: %w", tok, err)
+			}
+			g.Data[i] = float32(v)
+		}
+		return g, nil
+	}
+	// P5: one byte per sample for maxval < 256, two (big-endian) otherwise.
+	if maxval < 256 {
+		buf := make([]byte, w*h)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("grid: short PGM body: %w", err)
+		}
+		for i, b := range buf {
+			g.Data[i] = float32(b)
+		}
+	} else {
+		buf := make([]byte, 2*w*h)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("grid: short PGM body: %w", err)
+		}
+		for i := range g.Data {
+			g.Data[i] = float32(uint16(buf[2*i])<<8 | uint16(buf[2*i+1]))
+		}
+	}
+	return g, nil
+}
+
+// ReadPGMFile reads a PGM image from path.
+func ReadPGMFile(path string) (*Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPGM(f)
+}
+
+// pgmToken returns the next whitespace-delimited header token, skipping
+// '#' comments per the PNM specification.
+func pgmToken(br *bufio.Reader) (string, error) {
+	tok := make([]byte, 0, 8)
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("grid: PGM header: %w", err)
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}

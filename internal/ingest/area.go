@@ -1,0 +1,181 @@
+// Package ingest reads and writes a simplified McIDAS AREA format — the
+// file format GOES imagery of the paper's era was distributed and
+// ingested in (the GOES-9 datasets were "acquired ... using the real time
+// ingest system" at NASA/GSFC, which produced McIDAS AREA files). The
+// subset implemented here covers single-band visible/IR images with a
+// 64-word area directory and 1- or 2-byte data elements.
+//
+// Like real McIDAS, the reader detects the file's byte order from the
+// version word of the directory (word 2 must read as 4).
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"sma/internal/grid"
+)
+
+// Directory is the subset of the 64-word AREA directory this codec uses.
+// Word numbering follows the McIDAS convention (1-based).
+type Directory struct {
+	SensorID  int32 // word 3: sensor source number
+	Date      int32 // word 4: YYDDD
+	Time      int32 // word 5: HHMMSS
+	Lines     int32 // word 9
+	Elements  int32 // word 10
+	ByteDepth int32 // word 11: bytes per element (1 or 2)
+}
+
+const (
+	dirWords    = 64
+	versionWord = 4 // AREA version number stored in word 2
+)
+
+// Validate checks the directory for encodability.
+func (d Directory) Validate() error {
+	if d.Lines <= 0 || d.Elements <= 0 {
+		return fmt.Errorf("ingest: bad dimensions %dx%d", d.Elements, d.Lines)
+	}
+	if d.ByteDepth != 1 && d.ByteDepth != 2 {
+		return fmt.Errorf("ingest: unsupported byte depth %d", d.ByteDepth)
+	}
+	return nil
+}
+
+// WriteArea encodes g under the directory (d.Lines/d.Elements are set
+// from the grid). Sample values are linearly scaled to the full range of
+// the chosen byte depth, as the GVAR→AREA calibration step does.
+func WriteArea(w io.Writer, d Directory, g *grid.Grid) error {
+	d.Lines = int32(g.H)
+	d.Elements = int32(g.W)
+	if d.ByteDepth == 0 {
+		d.ByteDepth = 1
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	var words [dirWords]int32
+	words[0] = 0 // status
+	words[1] = versionWord
+	words[2] = d.SensorID
+	words[3] = d.Date
+	words[4] = d.Time
+	words[8] = d.Lines
+	words[9] = d.Elements
+	words[10] = d.ByteDepth
+	words[33] = dirWords * 4 // data offset: directly after the directory
+	if err := binary.Write(w, binary.LittleEndian, words[:]); err != nil {
+		return err
+	}
+	min, max := g.MinMax()
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	full := float32(int32(1)<<(8*d.ByteDepth) - 1)
+	buf := make([]byte, int(d.ByteDepth)*g.W)
+	for y := 0; y < g.H; y++ {
+		row := g.Row(y)
+		k := 0
+		for _, v := range row {
+			q := int32((v - min) / span * full)
+			if d.ByteDepth == 1 {
+				buf[k] = byte(q)
+				k++
+			} else {
+				binary.LittleEndian.PutUint16(buf[k:], uint16(q))
+				k += 2
+			}
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadArea decodes an AREA file, detecting byte order from the version
+// word. The returned grid holds raw counts (0..255 or 0..65535).
+func ReadArea(r io.Reader) (Directory, *grid.Grid, error) {
+	raw := make([]byte, dirWords*4)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return Directory{}, nil, fmt.Errorf("ingest: short directory: %w", err)
+	}
+	var order binary.ByteOrder = binary.LittleEndian
+	if int32(binary.LittleEndian.Uint32(raw[4:8])) != versionWord {
+		if int32(binary.BigEndian.Uint32(raw[4:8])) != versionWord {
+			return Directory{}, nil, fmt.Errorf("ingest: not an AREA file (version word %d/%d)",
+				int32(binary.LittleEndian.Uint32(raw[4:8])), int32(binary.BigEndian.Uint32(raw[4:8])))
+		}
+		order = binary.BigEndian
+	}
+	word := func(i int) int32 { return int32(order.Uint32(raw[4*(i-1) : 4*i])) }
+	d := Directory{
+		SensorID:  word(3),
+		Date:      word(4),
+		Time:      word(5),
+		Lines:     word(9),
+		Elements:  word(10),
+		ByteDepth: word(11),
+	}
+	if err := d.Validate(); err != nil {
+		return d, nil, err
+	}
+	if d.Lines > 1<<15 || d.Elements > 1<<15 {
+		return d, nil, fmt.Errorf("ingest: implausible dimensions %dx%d", d.Elements, d.Lines)
+	}
+	offset := word(34)
+	if offset < dirWords*4 {
+		return d, nil, fmt.Errorf("ingest: data offset %d inside the directory", offset)
+	}
+	// Skip any nav/cal blocks between the directory and the data.
+	if skip := int64(offset) - dirWords*4; skip > 0 {
+		if _, err := io.CopyN(io.Discard, r, skip); err != nil {
+			return d, nil, fmt.Errorf("ingest: truncated nav block: %w", err)
+		}
+	}
+	g := grid.New(int(d.Elements), int(d.Lines))
+	buf := make([]byte, int(d.ByteDepth)*int(d.Elements))
+	for y := 0; y < int(d.Lines); y++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return d, nil, fmt.Errorf("ingest: truncated data at line %d: %w", y, err)
+		}
+		row := g.Row(y)
+		if d.ByteDepth == 1 {
+			for x, b := range buf {
+				row[x] = float32(b)
+			}
+		} else {
+			for x := range row {
+				row[x] = float32(order.Uint16(buf[2*x:]))
+			}
+		}
+	}
+	return d, g, nil
+}
+
+// WriteAreaFile writes g to path as an AREA file.
+func WriteAreaFile(path string, d Directory, g *grid.Grid) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteArea(f, d, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadAreaFile reads an AREA file from path.
+func ReadAreaFile(path string) (Directory, *grid.Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Directory{}, nil, err
+	}
+	defer f.Close()
+	return ReadArea(f)
+}

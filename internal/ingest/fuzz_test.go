@@ -1,0 +1,32 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"sma/internal/grid"
+)
+
+// FuzzReadArea exercises the AREA decoder against malformed input: it
+// must return an error or a consistent grid, never panic.
+func FuzzReadArea(f *testing.F) {
+	// Seed with a valid little-endian file.
+	g := grid.New(3, 2)
+	g.ApplyXY(func(x, y int, _ float32) float32 { return float32(x + y) })
+	var buf bytes.Buffer
+	if err := WriteArea(&buf, Directory{SensorID: 1, ByteDepth: 1}, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:100])
+	f.Add(make([]byte, 64*4))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, bg, err := ReadArea(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if bg == nil || bg.W != int(d.Elements) || bg.H != int(d.Lines) {
+			t.Fatalf("decoder returned inconsistent result: %+v vs %v", d, bg)
+		}
+	})
+}

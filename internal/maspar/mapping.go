@@ -1,0 +1,200 @@
+package maspar
+
+import (
+	"fmt"
+
+	"sma/internal/grid"
+)
+
+// Mapping is a data folding of an M×N pixel image onto the PE array: every
+// pixel is assigned a (PE, memory-layer) slot. The paper compares the 2-D
+// hierarchical mapping (chosen) against cut-and-stack (rejected) — the
+// difference is how many X-net mesh transfers a neighborhood fetch needs.
+type Mapping interface {
+	// Place returns the PE index and memory layer of pixel (x, y).
+	Place(x, y int) (pe, mem int)
+	// Invert returns the pixel stored at (pe, mem).
+	Invert(pe, mem int) (x, y int)
+	// Layers returns the number of memory layers (pixels per PE).
+	Layers() int
+	// PESpanX returns how many PE columns a ±r pixel x-neighborhood spans
+	// beyond the home PE (the mesh-transfer radius in PE units).
+	PESpanX(r int) int
+	// PESpanY is the y-direction analog.
+	PESpanY(r int) int
+	// Dims returns the image dimensions (N columns, M rows).
+	Dims() (w, h int)
+}
+
+// Hierarchical is the 2-D hierarchical data mapping of the paper (Fig. 2
+// and eq. 12–13): each PE stores a contiguous xvr×yvr block of pixels, so
+// spatially neighboring pixels live on the same or neighboring PEs.
+type Hierarchical struct {
+	W, H           int // image dims: W = N columns, H = M rows
+	NXProc, NYProc int
+	XVR, YVR       int // pixels per PE in x and y: xvr = ceil(N/nxproc)
+}
+
+// NewHierarchical builds the hierarchical mapping for an image of w×h
+// pixels on the machine's PE array (paper eq. 12: yvr = ⌈M/nyproc⌉,
+// xvr = ⌈N/nxproc⌉).
+func NewHierarchical(m *Machine, w, h int) *Hierarchical {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("maspar: invalid image %dx%d", w, h))
+	}
+	return &Hierarchical{
+		W: w, H: h,
+		NXProc: m.Cfg.NXProc, NYProc: m.Cfg.NYProc,
+		XVR: (w + m.Cfg.NXProc - 1) / m.Cfg.NXProc,
+		YVR: (h + m.Cfg.NYProc - 1) / m.Cfg.NYProc,
+	}
+}
+
+// Place implements eq. (12): iyproc = y div yvr, ixproc = x div xvr,
+// mem = (x mod xvr) + xvr·(y mod yvr).
+func (h *Hierarchical) Place(x, y int) (pe, mem int) {
+	iyproc := y / h.YVR
+	ixproc := x / h.XVR
+	mem = (x % h.XVR) + h.XVR*(y%h.YVR)
+	return iyproc*h.NXProc + ixproc, mem
+}
+
+// Invert implements eq. (13): x = ixproc·xvr + (mem mod xvr),
+// y = iyproc·yvr + (mem div xvr).
+func (h *Hierarchical) Invert(pe, mem int) (x, y int) {
+	iyproc := pe / h.NXProc
+	ixproc := pe % h.NXProc
+	x = ixproc*h.XVR + mem%h.XVR
+	y = iyproc*h.YVR + mem/h.XVR
+	return x, y
+}
+
+// Layers implements Mapping.
+func (h *Hierarchical) Layers() int { return h.XVR * h.YVR }
+
+// PESpanX implements Mapping: a ±r pixel span crosses at most
+// ⌈r/xvr⌉ PE columns in each direction.
+func (h *Hierarchical) PESpanX(r int) int { return (r + h.XVR - 1) / h.XVR }
+
+// PESpanY implements Mapping.
+func (h *Hierarchical) PESpanY(r int) int { return (r + h.YVR - 1) / h.YVR }
+
+// Dims implements Mapping.
+func (h *Hierarchical) Dims() (w, hh int) { return h.W, h.H }
+
+// CutStack is the cut-and-stack data mapping the paper rejects: pixel
+// (x, y) goes to PE (x mod nxproc, y mod nyproc), so the image is cut into
+// nxproc×nyproc-sized tiles stacked in PE memory. A ±r pixel neighborhood
+// then spans r whole PE columns — xvr times more mesh transfers than the
+// hierarchical mapping.
+type CutStack struct {
+	W, H           int
+	NXProc, NYProc int
+	TilesX         int // number of tiles across: ceil(W/nxproc)
+	TilesY         int
+}
+
+// NewCutStack builds the cut-and-stack mapping.
+func NewCutStack(m *Machine, w, h int) *CutStack {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("maspar: invalid image %dx%d", w, h))
+	}
+	return &CutStack{
+		W: w, H: h,
+		NXProc: m.Cfg.NXProc, NYProc: m.Cfg.NYProc,
+		TilesX: (w + m.Cfg.NXProc - 1) / m.Cfg.NXProc,
+		TilesY: (h + m.Cfg.NYProc - 1) / m.Cfg.NYProc,
+	}
+}
+
+// Place implements Mapping.
+func (c *CutStack) Place(x, y int) (pe, mem int) {
+	pe = (y%c.NYProc)*c.NXProc + (x % c.NXProc)
+	mem = (y/c.NYProc)*c.TilesX + x/c.NXProc
+	return pe, mem
+}
+
+// Invert implements Mapping.
+func (c *CutStack) Invert(pe, mem int) (x, y int) {
+	x = (mem%c.TilesX)*c.NXProc + pe%c.NXProc
+	y = (mem/c.TilesX)*c.NYProc + pe/c.NXProc
+	return x, y
+}
+
+// Layers implements Mapping.
+func (c *CutStack) Layers() int { return c.TilesX * c.TilesY }
+
+// PESpanX implements Mapping: under cut-and-stack every pixel step is a PE
+// step, capped at the mesh width.
+func (c *CutStack) PESpanX(r int) int {
+	if r > c.NXProc {
+		return c.NXProc
+	}
+	return r
+}
+
+// PESpanY implements Mapping.
+func (c *CutStack) PESpanY(r int) int {
+	if r > c.NYProc {
+		return c.NYProc
+	}
+	return r
+}
+
+// Dims implements Mapping.
+func (c *CutStack) Dims() (w, h int) { return c.W, c.H }
+
+// Image is an image distributed over PE memory under a Mapping: layer ℓ of
+// Data holds, for every PE, the pixel stored at memory layer ℓ. Slots
+// beyond the image border (when dimensions do not divide evenly) hold 0.
+type Image struct {
+	M    *Machine
+	Map  Mapping
+	Data [][]float32 // [mem][pe]
+}
+
+// Distribute loads g onto the machine under the mapping, charging one
+// direct plural memory store per layer (the parallel disk array feeds all
+// PEs concurrently; per-instruction cost is what SIMD time depends on).
+func Distribute(m *Machine, mp Mapping, g *grid.Grid) *Image {
+	w, h := mp.Dims()
+	if g.W != w || g.H != h {
+		panic(fmt.Sprintf("maspar: image %dx%d does not match mapping %dx%d", g.W, g.H, w, h))
+	}
+	img := &Image{M: m, Map: mp, Data: make([][]float32, mp.Layers())}
+	nproc := m.Cfg.NProc()
+	for l := range img.Data {
+		img.Data[l] = make([]float32, nproc)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pe, mem := mp.Place(x, y)
+			img.Data[mem][pe] = g.AtUnchecked(x, y)
+		}
+	}
+	m.ChargeMem(int64(mp.Layers()))
+	return img
+}
+
+// Collect gathers the distributed image back into a grid.
+func (img *Image) Collect() *grid.Grid {
+	w, h := img.Map.Dims()
+	g := grid.New(w, h)
+	for mem, layer := range img.Data {
+		for pe, v := range layer {
+			x, y := img.Map.Invert(pe, mem)
+			if x < w && y < h {
+				g.Set(x, y, v)
+			}
+		}
+	}
+	img.M.ChargeMem(int64(img.Map.Layers()))
+	return g
+}
+
+// At returns the distributed pixel (x, y) — a test/debug accessor that
+// bypasses cost accounting.
+func (img *Image) At(x, y int) float32 {
+	pe, mem := img.Map.Place(x, y)
+	return img.Data[mem][pe]
+}

@@ -1,0 +1,51 @@
+package maspar
+
+import (
+	"fmt"
+	"time"
+)
+
+// MPDA models the MasPar Parallel Disk Array of §3.1: "two RAID-3 8-way
+// striped MasPar Parallel Disk Arrays that deliver a sustained performance
+// of over 30 MB/s across a 200 MB/s MPIOC channel". Its throughput was
+// what made running the SMA algorithm over the dense 490-frame GOES-9
+// sequence practical.
+type MPDA struct {
+	SustainedBW float64 // bytes/s (30 MB/s per the paper)
+	ChannelBW   float64 // MPIOC channel ceiling, bytes/s (200 MB/s)
+}
+
+// DefaultMPDA returns the Goddard configuration.
+func DefaultMPDA() MPDA {
+	return MPDA{SustainedBW: 30e6, ChannelBW: 200e6}
+}
+
+// TransferTime returns the modeled time to stream n bytes through the
+// array (sustained rate, capped by the channel — the sustained figure
+// already sits far below the channel so the cap is a sanity bound).
+func (d MPDA) TransferTime(n int64) time.Duration {
+	if n < 0 {
+		return 0
+	}
+	bw := d.SustainedBW
+	if bw > d.ChannelBW {
+		bw = d.ChannelBW
+	}
+	return time.Duration(float64(n) / bw * float64(time.Second))
+}
+
+// FrameBytes returns the storage footprint of one w×h image with the
+// given bytes per sample.
+func FrameBytes(w, h, sampleBytes int) int64 { return int64(w) * int64(h) * int64(sampleBytes) }
+
+// SequenceIOTime models the disk traffic of tracking a T-frame sequence:
+// every frame is read once and a U/V motion-field pair is written per
+// tracked frame pair.
+func (d MPDA) SequenceIOTime(frames, w, h, sampleBytes int) (time.Duration, error) {
+	if frames < 2 {
+		return 0, fmt.Errorf("maspar: sequence needs at least 2 frames, got %d", frames)
+	}
+	read := int64(frames) * FrameBytes(w, h, sampleBytes)
+	write := int64(frames-1) * 2 * FrameBytes(w, h, 4) // float32 U and V
+	return d.TransferTime(read + write), nil
+}

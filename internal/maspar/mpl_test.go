@@ -1,0 +1,136 @@
+package maspar
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMPLArithmetic(t *testing.T) {
+	m := testMachine(2, 2)
+	p := NewMPL(m)
+	err := p.Run(`
+		# simple arithmetic over all PEs
+		set a 3
+		set b 4
+		add c a b
+		muls c c 2
+		adds c c -1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe, v := range p.Reg("c").V {
+		if v != 13 { // (3+4)*2 - 1
+			t.Fatalf("c[%d] = %v, want 13", pe, v)
+		}
+	}
+}
+
+func TestMPLLaplacianMatchesACUStencil(t *testing.T) {
+	m1 := testMachine(4, 4)
+	m2 := testMachine(4, 4)
+	src1 := NewPlural(m1)
+	src2 := NewPlural(m2)
+	for i := range src1.V {
+		src1.V[i] = float32(i * i % 7)
+		src2.V[i] = src1.V[i]
+	}
+	// Reference: the built-in kernel.
+	ref := NewPlural(m1)
+	NewACU(m1).Stencil4(ref, src1)
+	// Same kernel written as MPL text.
+	p := NewMPL(m2)
+	p.SetReg("src", src2)
+	err := p.Run(`
+		move acc src
+		muls acc acc -4
+		xnet t src n
+		add acc acc t
+		xnet t src s
+		add acc acc t
+		xnet t src e
+		add acc acc t
+		xnet t src w
+		add acc acc t
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := range ref.V {
+		if ref.V[pe] != p.Reg("acc").V[pe] {
+			t.Fatalf("MPL Laplacian differs at PE %d: %v vs %v", pe, p.Reg("acc").V[pe], ref.V[pe])
+		}
+	}
+}
+
+func TestMPLPluralIf(t *testing.T) {
+	m := testMachine(2, 2)
+	p := NewMPL(m)
+	x := NewPlural(m)
+	copy(x.V, []float32{1, 2, 3, 4})
+	p.SetReg("x", x)
+	err := p.Run(`
+		set y 0
+		if x gt 2
+			set y 100
+		else
+			set y -100
+		endif
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{-100, -100, 100, 100}
+	for pe, w := range want {
+		if p.Reg("y").V[pe] != w {
+			t.Fatalf("y[%d] = %v, want %v", pe, p.Reg("y").V[pe], w)
+		}
+	}
+}
+
+func TestMPLChargesCosts(t *testing.T) {
+	m := testMachine(2, 2)
+	p := NewMPL(m)
+	m.ResetCost()
+	if err := p.Run("set a 1\nset b 2\nadd c a b\nxnet d c e"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost.PluralFlops == 0 || m.Cost.XNetShifts != 1 {
+		t.Fatalf("ledger %+v", m.Cost)
+	}
+}
+
+func TestMPLErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"bogus a b", "unknown op"},
+		{"add c a", "takes 3 operands"},
+		{"add c a b", "unwritten register"},
+		{"set a x", "bad immediate"},
+		{"set a 1\nxnet b a q", "bad direction"},
+		{"set a 1\nif a zz 0\nendif", "bad comparison"},
+		{"else", "else without if"},
+		{"endif", "endif without if"},
+		{"set a 1\nif a gt 0", "unclosed if"},
+	}
+	for _, c := range cases {
+		m := testMachine(2, 2)
+		err := NewMPL(m).Run(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("program %q: error %v, want fragment %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestMPLCommentsAndBlankLines(t *testing.T) {
+	m := testMachine(2, 2)
+	p := NewMPL(m)
+	if err := p.Run("\n  # only comments\n\nset a 5 # trailing\n"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Reg("a").V[0] != 5 {
+		t.Fatal("comment handling broke execution")
+	}
+}

@@ -1,0 +1,304 @@
+package maspar
+
+import "fmt"
+
+// FetchScheme selects how a square pixel neighborhood is read out of the
+// mesh — the two alternatives the paper evaluates in §4.2.
+type FetchScheme int
+
+const (
+	// SnakeReadout is the "ordered memory-queued mesh transfer using snake
+	// read-out" (Fig. 3): the whole data image is shifted one pixel at a
+	// time along a serpentine path covering the neighborhood; every step
+	// is one X-net mesh shift plus mem-sequential shifts within each PE.
+	SnakeReadout FetchScheme = iota
+	// RasterReadout is the "unordered variable PE window mesh transfer
+	// using raster scan read-out": data is read one memory layer at a
+	// time through a per-layer PE bounding box. The paper found this
+	// faster and used it in the final implementation.
+	RasterReadout
+)
+
+// String implements fmt.Stringer.
+func (s FetchScheme) String() string {
+	switch s {
+	case SnakeReadout:
+		return "snake"
+	case RasterReadout:
+		return "raster"
+	}
+	return fmt.Sprintf("FetchScheme(%d)", int(s))
+}
+
+// shiftCost returns the per-instruction cost of shifting a distributed
+// image by one pixel in direction d under the mapping: X-net transfers for
+// the pixels that cross PE boundaries and memory moves for the intra-PE
+// shuffle.
+func shiftCost(mp Mapping, d Direction) (xnet, mem int64) {
+	dx, dy := d.Delta()
+	switch m := mp.(type) {
+	case *Hierarchical:
+		// Every resident pixel moves one memory slot; the boundary
+		// column (yvr pixels) and/or row (xvr pixels) cross via X-net.
+		mem = int64(m.Layers())
+		if dx != 0 {
+			xnet += int64(m.YVR)
+		}
+		if dy != 0 {
+			xnet += int64(m.XVR)
+		}
+	case *CutStack:
+		// Under cut-and-stack every pixel step is a PE step: all resident
+		// pixels cross a PE boundary on every shift.
+		mem = int64(m.Layers())
+		xnet = int64(m.Layers())
+	default:
+		panic(fmt.Sprintf("maspar: unknown mapping %T", mp))
+	}
+	return xnet, mem
+}
+
+// snakePath returns the shift sequence that walks the data image through
+// all (2r+1)² neighborhood offsets: first to the (−r, −r) corner, then
+// serpentine rows (Fig. 3). Offsets are visited so that after the k-th
+// shift every pixel slot holds the neighborhood value at the k-th path
+// position.
+func snakePath(r int) []Direction {
+	var path []Direction
+	for i := 0; i < r; i++ {
+		path = append(path, NorthWest) // toward (−r, −r): du−1, dv−1
+	}
+	east := true
+	side := 2 * r
+	for row := 0; row <= 2*r; row++ {
+		for i := 0; i < side; i++ {
+			if east {
+				path = append(path, East)
+			} else {
+				path = append(path, West)
+			}
+		}
+		if row < 2*r {
+			path = append(path, South)
+			east = !east
+		}
+	}
+	return path
+}
+
+// ShiftPixel returns the image shifted one pixel in direction d:
+// out(x, y) = in(x+dx, y+dy), toroidal in image coordinates. Real data is
+// moved and the mapping-dependent cost is charged.
+func (img *Image) ShiftPixel(d Direction) *Image {
+	w, h := img.Map.Dims()
+	dx, dy := d.Delta()
+	out := &Image{M: img.M, Map: img.Map, Data: make([][]float32, len(img.Data))}
+	for l := range out.Data {
+		out.Data[l] = make([]float32, len(img.Data[l]))
+	}
+	for y := 0; y < h; y++ {
+		sy := y + dy
+		switch {
+		case sy < 0:
+			sy += h
+		case sy >= h:
+			sy -= h
+		}
+		for x := 0; x < w; x++ {
+			sx := x + dx
+			switch {
+			case sx < 0:
+				sx += w
+			case sx >= w:
+				sx -= w
+			}
+			dpe, dmem := img.Map.Place(x, y)
+			spe, smem := img.Map.Place(sx, sy)
+			out.Data[dmem][dpe] = img.Data[smem][spe]
+		}
+	}
+	xnet, mem := shiftCost(img.Map, d)
+	img.M.ChargeXNet(xnet)
+	img.M.ChargeMem(mem)
+	return out
+}
+
+// Neighborhoods holds, for every image pixel, its (2r+1)² toroidal
+// neighborhood in row-major offset order (dv slow, du fast).
+type Neighborhoods struct {
+	R    int
+	W, H int
+	Vals [][]float32 // [y*W+x][(dv+r)*(2r+1)+(du+r)]
+}
+
+// At returns the neighborhood value of pixel (x, y) at offset (du, dv).
+func (n *Neighborhoods) At(x, y, du, dv int) float32 {
+	side := 2*n.R + 1
+	return n.Vals[y*n.W+x][(dv+n.R)*side+(du+n.R)]
+}
+
+// GatherSnake collects every pixel's neighborhood by physically walking
+// the image along the snake path: (2r+1)²−1+r shift instructions, with one
+// store per resident pixel at every visited offset. This is the
+// reference-fidelity (and slower) scheme.
+func GatherSnake(img *Image, r int) *Neighborhoods {
+	w, h := img.Map.Dims()
+	side := 2*r + 1
+	out := &Neighborhoods{R: r, W: w, H: h, Vals: make([][]float32, w*h)}
+	for i := range out.Vals {
+		out.Vals[i] = make([]float32, side*side)
+	}
+	// Track the current offset while walking; start at (0, 0).
+	du, dv := 0, 0
+	cur := img
+	store := func() {
+		if du < -r || du > r || dv < -r || dv > r {
+			return
+		}
+		k := (dv+r)*side + (du + r)
+		for mem := range cur.Data {
+			for pe, v := range cur.Data[mem] {
+				x, y := img.Map.Invert(pe, mem)
+				if x < w && y < h {
+					out.Vals[y*w+x][k] = v
+				}
+			}
+		}
+		img.M.ChargeMem(int64(img.Map.Layers())) // one store per resident pixel
+	}
+	store()
+	for _, d := range snakePath(r) {
+		cur = cur.ShiftPixel(d)
+		ddx, ddy := d.Delta()
+		du += ddx
+		dv += ddy
+		store()
+	}
+	return out
+}
+
+// GatherRaster collects the same neighborhoods using the unordered
+// variable-PE-window raster-scan read-out: data values are produced by
+// direct (functional) indexing while the cost ledger is charged what the
+// per-layer bounding-box traversal costs on the real machine.
+func GatherRaster(img *Image, r int) *Neighborhoods {
+	w, h := img.Map.Dims()
+	side := 2*r + 1
+	out := &Neighborhoods{R: r, W: w, H: h, Vals: make([][]float32, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			vals := make([]float32, side*side)
+			k := 0
+			for dv := -r; dv <= r; dv++ {
+				sy := ((y+dv)%h + h) % h
+				for du := -r; du <= r; du++ {
+					sx := ((x+du)%w + w) % w
+					vals[k] = img.At(sx, sy)
+					k++
+				}
+			}
+			out.Vals[y*w+x] = vals
+		}
+	}
+	img.M.Cost.Add(RasterFetchCost(img.Map, r))
+	return out
+}
+
+// RasterFetchCost returns the communication cost of one raster-scan
+// neighborhood fetch of radius r: for every source memory layer, the
+// (generally non-square) PE bounding box is traversed in raster order —
+// one X-net shift instruction per box position — and each PE stores the
+// values its resident target pixels need.
+func RasterFetchCost(mp Mapping, r int) Cost {
+	var c Cost
+	switch m := mp.(type) {
+	case *Hierarchical:
+		side := int64(2*r + 1)
+		// Per source layer (sx, sy): PE box extents depend on the intra-PE
+		// position of the source pixel.
+		for sy := 0; sy < m.YVR; sy++ {
+			bh := boxExtent(sy, r, m.YVR)
+			for sx := 0; sx < m.XVR; sx++ {
+				bw := boxExtent(sx, r, m.XVR)
+				c.XNetShifts += bw * bh
+			}
+		}
+		// One store per needed value per resident target pixel.
+		c.MemDirect += int64(m.Layers()) * side * side
+	case *CutStack:
+		// Every source layer's box spans the full pixel radius in PEs.
+		side := int64(2*r + 1)
+		bw := int64(2*m.PESpanX(r) + 1)
+		bh := int64(2*m.PESpanY(r) + 1)
+		c.XNetShifts += int64(m.Layers()) * bw * bh
+		c.MemDirect += int64(m.Layers()) * side * side
+	default:
+		panic(fmt.Sprintf("maspar: unknown mapping %T", mp))
+	}
+	return c
+}
+
+// boxExtent returns the number of PE offsets along one axis that hold
+// pixels within ±r of any target intra-PE position, for a source pixel at
+// intra-PE position s with vr pixels per PE.
+func boxExtent(s, r, vr int) int64 {
+	lo := floorDiv(0-r-s, vr)
+	hi := floorDiv(vr-1+r-s, vr)
+	return int64(hi - lo + 1)
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// SnakeFetchCost returns the cost GatherSnake charges, computed without
+// moving data: the path's shift costs plus one store per resident pixel
+// per visited offset.
+func SnakeFetchCost(mp Mapping, r int) Cost {
+	var c Cost
+	path := snakePath(r)
+	for _, d := range path {
+		xnet, mem := shiftCost(mp, d)
+		c.XNetShifts += xnet
+		c.MemDirect += mem
+	}
+	// One store instruction (covering all resident pixels) per visited
+	// offset: the origin plus every path position, all of which lie within
+	// the ±r box.
+	visits := int64(len(path)) + 1
+	c.MemDirect += visits * int64(mp.Layers())
+	return c
+}
+
+// RouterFetchCost returns the cost of fetching the same neighborhoods
+// through the global router instead of the X-net mesh: one plural router
+// send per neighborhood offset per memory layer. The paper rejects this
+// path — "since geometric parameters are only fetched from a neighborhood
+// of PEs, using the mesh connections to transfer data will be faster than
+// using the router" (the X-net has 18× the router's bandwidth) — and this
+// function quantifies the gap for the ablation bench.
+func RouterFetchCost(mp Mapping, r int) Cost {
+	side := int64(2*r + 1)
+	layers := int64(mp.Layers())
+	return Cost{
+		RouterSends: layers * side * side,
+		MemDirect:   layers * side * side,
+	}
+}
+
+// FetchCost returns the modeled cost of one neighborhood fetch of radius r
+// under the given scheme — the quantity the §4.2 design comparison (and
+// our ablation bench) is about.
+func FetchCost(mp Mapping, r int, s FetchScheme) Cost {
+	switch s {
+	case SnakeReadout:
+		return SnakeFetchCost(mp, r)
+	case RasterReadout:
+		return RasterFetchCost(mp, r)
+	}
+	panic(fmt.Sprintf("maspar: unknown scheme %v", s))
+}

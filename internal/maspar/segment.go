@@ -1,0 +1,75 @@
+package maspar
+
+import "fmt"
+
+// SegmentParams describes the SMA working set whose PE-memory footprint
+// §4.3 of the paper budgets: the precomputed semi-fluid template mappings
+// dominate, and when they do not fit they are segmented by rows of the
+// search (hypothesis) neighborhood.
+type SegmentParams struct {
+	NZS       int // search radius: search area is (2·NZS+1)²
+	NZT       int // z-template radius
+	NS        int // surface-patch radius (paper sets NS = NsT)
+	Layers    int // pixels per PE (xvr·yvr)
+	FloatSize int // bytes per stored value (4 for float32/MPL float)
+}
+
+// BaseBytes returns the per-PE bytes of the resident (unsegmentable) data:
+// the intensity and surface images at both timesteps with their fitted
+// geometric variables (normals, E, G, discriminant — 15 plural image
+// layers in our implementation), plus the per-pixel error accumulators for
+// one search row.
+func (p SegmentParams) BaseBytes() int {
+	const residentImages = 15
+	perPixel := residentImages * p.FloatSize
+	// Error terms for (2·NZS+1) hypotheses of the row in flight.
+	perPixel += (2*p.NZS + 1) * p.FloatSize
+	return perPixel * p.Layers
+}
+
+// MappingBytesPerRow returns the per-PE bytes one row of precomputed
+// template mappings occupies: (2·NZS+1) hypotheses × 2 floats — the paper
+// notes the minimization depends on the after-motion normal only through
+// (ni′²+nj′²) and nk′, so two values suffice — per resident pixel.
+func (p SegmentParams) MappingBytesPerRow() int {
+	return (2*p.NZS + 1) * 2 * p.FloatSize * p.Layers
+}
+
+// SegmentPlan is the outcome of fitting the template-mapping store into
+// PE memory: the mappings for Z rows of the hypothesis neighborhood are
+// computed, consumed and discarded per segment.
+type SegmentPlan struct {
+	Z        int // hypothesis rows per segment (paper's "2 rows" example)
+	Segments int // ⌈(2·NZS+1)/Z⌉ passes over the template-mapping compute
+	BytesPE  int // per-PE bytes of the largest working set
+}
+
+// PlanSegments computes the largest Z that fits the machine's PE memory.
+// It returns an error when even a single hypothesis row does not fit —
+// the hard wall the paper's 23×23-search example illustrates (67.7 KB/PE
+// needed vs 64 KB available).
+func PlanSegments(m *Machine, p SegmentParams) (SegmentPlan, error) {
+	if p.Layers <= 0 || p.NZS < 0 {
+		return SegmentPlan{}, fmt.Errorf("maspar: invalid segment params %+v", p)
+	}
+	avail := m.Cfg.MemPerPE - p.BaseBytes() - m.MemUsed()
+	rowBytes := p.MappingBytesPerRow()
+	if rowBytes <= 0 {
+		return SegmentPlan{Z: 2*p.NZS + 1, Segments: 1, BytesPE: p.BaseBytes()}, nil
+	}
+	z := avail / rowBytes
+	rows := 2*p.NZS + 1
+	if z < 1 {
+		return SegmentPlan{}, fmt.Errorf(
+			"maspar: one hypothesis row of template mappings needs %d B/PE but only %d B/PE remain",
+			rowBytes, avail)
+	}
+	if z > rows {
+		z = rows
+	}
+	return SegmentPlan{
+		Z:        z,
+		Segments: (rows + z - 1) / z,
+		BytesPE:  p.BaseBytes() + z*rowBytes,
+	}, nil
+}

@@ -1,0 +1,121 @@
+package maspar
+
+import (
+	"fmt"
+	"math"
+
+	"sma/internal/la"
+)
+
+// GeometryImages holds the distributed per-pixel geometric variables the
+// SIMD surface-fit kernel produces — the plural-memory layout of the
+// paper's "Surface fit" and "Compute geometric variables" stages.
+type GeometryImages struct {
+	Ni, Nj, Nk *Image // unit normal components
+	Zx, Zy     *Image // patch-center slopes
+	E, G       *Image // first fundamental form
+	D          *Image // second-order discriminant
+}
+
+// SIMDSurfaceFit executes quadratic surface fitting as a genuine SIMD
+// kernel on the simulated machine: the image is fetched through the
+// chosen neighborhood read-out scheme, then every memory layer is
+// processed in lockstep — each PE accumulating its resident pixel's
+// normal-equation right-hand side and running one 6×6 Gaussian
+// elimination, exactly the paper's per-pixel work. All data movement and
+// arithmetic is charged to the machine ledger.
+//
+// The results are bit-identical to the host fitter (surface.Fitter) for
+// interior pixels; border pixels differ only in that the mesh is toroidal
+// while the host clamps, so callers comparing against host output should
+// restrict to pixels at least ns away from the border.
+func SIMDSurfaceFit(m *Machine, img *Image, ns int, scheme FetchScheme) (*GeometryImages, error) {
+	if ns < 1 {
+		return nil, fmt.Errorf("maspar: fit radius %d, need >= 1", ns)
+	}
+	mp := img.Map
+	w, h := mp.Dims()
+	side := 2*ns + 1
+
+	// Fixed design rows and normal matrix (window geometry only).
+	var ata la.Mat6
+	rows := make([]la.Vec6, 0, side*side)
+	for dv := -ns; dv <= ns; dv++ {
+		for du := -ns; du <= ns; du++ {
+			u := float64(du)
+			v := float64(dv)
+			row := la.Vec6{1, u, v, u * u, u * v, v * v}
+			rows = append(rows, row)
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 6; j++ {
+					ata[i][j] += row[i] * row[j]
+				}
+			}
+		}
+	}
+
+	// Neighborhood fetch: one pass feeds all layers.
+	var nb *Neighborhoods
+	switch scheme {
+	case SnakeReadout:
+		nb = GatherSnake(img, ns)
+	case RasterReadout:
+		nb = GatherRaster(img, ns)
+	default:
+		return nil, fmt.Errorf("maspar: unknown scheme %v", scheme)
+	}
+
+	newImg := func() *Image {
+		out := &Image{M: m, Map: mp, Data: make([][]float32, mp.Layers())}
+		for l := range out.Data {
+			out.Data[l] = make([]float32, m.Cfg.NProc())
+		}
+		return out
+	}
+	geo := &GeometryImages{
+		Ni: newImg(), Nj: newImg(), Nk: newImg(),
+		Zx: newImg(), Zy: newImg(), E: newImg(), G: newImg(), D: newImg(),
+	}
+
+	nproc := m.Cfg.NProc()
+	for l := 0; l < mp.Layers(); l++ {
+		// One lockstep pass over the PE array: accumulate + eliminate.
+		for pe := 0; pe < nproc; pe++ {
+			x, y := mp.Invert(pe, l)
+			if x >= w || y >= h {
+				continue
+			}
+			var b la.Vec6
+			vals := nb.Vals[y*w+x]
+			for k, row := range rows {
+				z := float64(vals[k])
+				for i := 0; i < 6; i++ {
+					b[i] += row[i] * z
+				}
+			}
+			a := ata
+			c, ok := la.Solve6(&a, &b)
+			if !ok {
+				continue
+			}
+			zx := c[1]
+			zy := c[2]
+			n2 := 1 + zx*zx + zy*zy
+			inv := 1 / math.Sqrt(n2)
+			geo.Ni.Data[l][pe] = float32(-zx * inv)
+			geo.Nj.Data[l][pe] = float32(-zy * inv)
+			geo.Nk.Data[l][pe] = float32(inv)
+			geo.Zx.Data[l][pe] = float32(zx)
+			geo.Zy.Data[l][pe] = float32(zy)
+			geo.E.Data[l][pe] = float32(1 + zx*zx)
+			geo.G.Data[l][pe] = float32(1 + zy*zy)
+			geo.D.Data[l][pe] = float32(4*c[3]*c[5] - c[4]*c[4])
+		}
+		// SIMD charges per layer: the accumulation (12 flops per window
+		// value), one elimination, and the geometric variables.
+		m.ChargeFlops(int64(12 * side * side))
+		m.ChargeGauss6()
+		m.ChargeFlops(20)
+	}
+	return geo, nil
+}

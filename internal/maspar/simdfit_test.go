@@ -1,0 +1,136 @@
+package maspar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSIMDSurfaceFitMatchesDirectFit(t *testing.T) {
+	// The SIMD kernel must reproduce the quadratic fit exactly on interior
+	// pixels (borders differ: toroidal mesh vs host clamping).
+	m := testMachine(8, 8)
+	g := randGrid(32, 32, 31)
+	img := Distribute(m, NewHierarchical(m, 32, 32), g)
+	geo, err := SIMDSurfaceFit(m, img, 2, RasterReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zx := geo.Zx.Collect()
+	nk := geo.Nk.Collect()
+	// Reference: direct least squares at a few interior pixels.
+	for _, pt := range [][2]int{{10, 10}, {16, 20}, {25, 7}} {
+		x, y := pt[0], pt[1]
+		// Accumulate the same normal equations by hand.
+		var b [6]float64
+		var a Mat6ForTest
+		for dv := -2; dv <= 2; dv++ {
+			for du := -2; du <= 2; du++ {
+				u := float64(du)
+				v := float64(dv)
+				row := [6]float64{1, u, v, u * u, u * v, v * v}
+				z := float64(g.AtUnchecked(x+du, y+dv))
+				for i := 0; i < 6; i++ {
+					b[i] += row[i] * z
+					for j := 0; j < 6; j++ {
+						a[i][j] += row[i] * row[j]
+					}
+				}
+			}
+		}
+		c := solve6ForTest(a, b, t)
+		wantZx := c[1]
+		wantNk := 1 / math.Sqrt(1+c[1]*c[1]+c[2]*c[2])
+		if got := float64(zx.At(x, y)); math.Abs(got-wantZx) > 1e-4 {
+			t.Fatalf("Zx(%d,%d) = %v, want %v", x, y, got, wantZx)
+		}
+		if got := float64(nk.At(x, y)); math.Abs(got-wantNk) > 1e-5 {
+			t.Fatalf("Nk(%d,%d) = %v, want %v", x, y, got, wantNk)
+		}
+	}
+}
+
+// Mat6ForTest mirrors la.Mat6 without importing it twice under an alias.
+type Mat6ForTest = [6][6]float64
+
+func solve6ForTest(a Mat6ForTest, b [6]float64, t *testing.T) [6]float64 {
+	t.Helper()
+	// Plain Gaussian elimination with partial pivoting.
+	for col := 0; col < 6; col++ {
+		p := col
+		for r := col + 1; r < 6; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		if a[col][col] == 0 {
+			t.Fatal("singular test system")
+		}
+		for r := col + 1; r < 6; r++ {
+			f := a[r][col] / a[col][col]
+			for j := col; j < 6; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [6]float64
+	for i := 5; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < 6; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x
+}
+
+func TestSIMDSurfaceFitChargesPerLayer(t *testing.T) {
+	m := testMachine(4, 4)
+	g := randGrid(16, 16, 33)
+	img := Distribute(m, NewHierarchical(m, 16, 16), g)
+	m.ResetCost()
+	if _, err := SIMDSurfaceFit(m, img, 2, RasterReadout); err != nil {
+		t.Fatal(err)
+	}
+	layers := int64(16) // 16×16 on 4×4 PEs
+	if m.Cost.GaussianElims != layers {
+		t.Fatalf("GaussianElims = %d, want %d (one per layer)", m.Cost.GaussianElims, layers)
+	}
+	if m.Cost.XNetShifts == 0 {
+		t.Fatal("no neighborhood communication charged")
+	}
+}
+
+func TestSIMDSurfaceFitFlatSurface(t *testing.T) {
+	m := testMachine(4, 4)
+	g := randGrid(16, 16, 35)
+	g.Fill(7)
+	img := Distribute(m, NewHierarchical(m, 16, 16), g)
+	geo, err := SIMDSurfaceFit(m, img, 1, SnakeReadout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nk := geo.Nk.Collect()
+	d := geo.D.Collect()
+	for i, v := range nk.Data {
+		if math.Abs(float64(v)-1) > 1e-6 {
+			t.Fatalf("flat Nk[%d] = %v", i, v)
+		}
+		if d.Data[i] != 0 {
+			t.Fatalf("flat D[%d] = %v", i, d.Data[i])
+		}
+	}
+}
+
+func TestSIMDSurfaceFitValidation(t *testing.T) {
+	m := testMachine(4, 4)
+	img := Distribute(m, NewHierarchical(m, 16, 16), randGrid(16, 16, 37))
+	if _, err := SIMDSurfaceFit(m, img, 0, RasterReadout); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+	if _, err := SIMDSurfaceFit(m, img, 2, FetchScheme(99)); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"sma/internal/core"
+)
+
+func TestEffectiveFlopsDegradesWithWorkingSet(t *testing.T) {
+	s := DefaultSGI()
+	small := s.EffectiveFlops(1e6)
+	large := s.EffectiveFlops(5e8)
+	if large >= small {
+		t.Fatalf("effective rate did not degrade: %v vs %v", small, large)
+	}
+	if small > s.PeakFlops {
+		t.Fatalf("effective rate %v above peak %v", small, s.PeakFlops)
+	}
+}
+
+func TestPixelTimeGrowsSuperlinearlyInTemplate(t *testing.T) {
+	s := DefaultSGI()
+	p1 := core.FredericParams()
+	p1.NZT = 5 // 11×11
+	p2 := core.FredericParams()
+	p2.NZT = 60 // 121×121
+	t1 := s.PixelTime(core.CountOps(p1, 2))
+	t2 := s.PixelTime(core.CountOps(p2, 2))
+	area := float64(121*121) / float64(11*11) // ≈121
+	if float64(t2) < area*float64(t1) {
+		t.Fatalf("growth %.1f× not superlinear in area %.1f×", float64(t2)/float64(t1), area)
+	}
+}
+
+func TestImageTimeScalesWithPixels(t *testing.T) {
+	s := DefaultSGI()
+	oc := core.CountOps(core.GOES9Params(), 2)
+	a := s.ImageTime(oc, 128, 128)
+	b := s.ImageTime(oc, 256, 256)
+	ratio := float64(b) / float64(a)
+	if ratio < 3.99 || ratio > 4.01 {
+		t.Fatalf("image-time ratio %v, want 4", ratio)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(100*time.Second, 1*time.Second); s != 100 {
+		t.Fatalf("Speedup = %v", s)
+	}
+	if s := Speedup(time.Second, 0); s != 0 {
+		t.Fatalf("Speedup with zero parallel time = %v", s)
+	}
+}
+
+func TestPerPixelFlopsComposition(t *testing.T) {
+	p := core.GOES9Params()
+	oc := core.CountOps(p, 2)
+	f := PerPixelFlops(oc)
+	if f <= float64(oc.HypFlops) {
+		t.Fatalf("per-pixel flops %v missing elimination/fit terms (hyp alone %v)", f, oc.HypFlops)
+	}
+	// Continuous model: no semi-map contribution.
+	oc2 := oc
+	oc2.SemiMapFlops = 1000
+	if PerPixelFlops(oc2) != f+1000 {
+		t.Fatal("semi-map flops not additive")
+	}
+}
+
+func TestFredericProjectionNearPaper(t *testing.T) {
+	// The calibration target: 397.34 days for the sequential Frederic run.
+	s := DefaultSGI()
+	seq := s.ImageTime(core.CountOps(core.FredericParams(), 4), 512, 512)
+	days := seq.Hours() / 24
+	if days < 300 || days > 500 {
+		t.Fatalf("modeled sequential Frederic = %.1f days, want ≈397", days)
+	}
+}

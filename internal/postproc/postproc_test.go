@@ -1,0 +1,158 @@
+package postproc
+
+import (
+	"testing"
+
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+// noisyUniformFlow builds a translation scene plus a flow field that is
+// correct except for scattered impulse errors.
+func noisyUniformFlow(w, h int, seed int64) (i0, i1 *grid.Grid, flow, truth *grid.VectorField) {
+	s := &synth.Scene{W: w, H: h, Flow: synth.Uniform{U: 2, V: 1},
+		Tex: synth.Hurricane(w, h, seed).Tex}
+	i0 = s.Frame(0)
+	i1 = s.Frame(1)
+	truth = grid.NewVectorField(w, h)
+	truth.U.Fill(2)
+	truth.V.Fill(1)
+	flow = truth.Clone()
+	for k := 0; k < w*h/20; k++ { // 5% impulse corruption
+		x := (k*37 + 11) % w
+		y := (k*53 + 7) % h
+		flow.Set(x, y, -2, -2)
+	}
+	return i0, i1, flow, truth
+}
+
+func TestRelaxRemovesImpulseErrors(t *testing.T) {
+	i0, i1, flow, truth := noisyUniformFlow(48, 48, 3)
+	before := flow.RMSE(truth)
+	out, err := Relax(flow, i0, i1, DefaultRelaxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := out.RMSE(truth)
+	if after >= before/2 {
+		t.Fatalf("relaxation RMSE %v not well below %v", after, before)
+	}
+}
+
+func TestRelaxPreservesCorrectField(t *testing.T) {
+	i0, i1, _, truth := noisyUniformFlow(32, 32, 5)
+	out, err := Relax(truth.Clone(), i0, i1, DefaultRelaxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(truth) {
+		t.Fatal("relaxation perturbed an already-correct uniform field")
+	}
+}
+
+func TestRelaxValidation(t *testing.T) {
+	f := grid.NewVectorField(8, 8)
+	g := grid.New(8, 8)
+	if _, err := Relax(f, g, grid.New(9, 8), DefaultRelaxConfig()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Relax(f, g, g, RelaxConfig{Iterations: 0}); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestRelaxDeterministic(t *testing.T) {
+	i0, i1, flow, _ := noisyUniformFlow(24, 24, 7)
+	a, err := Relax(flow.Clone(), i0, i1, DefaultRelaxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Relax(flow.Clone(), i0, i1, DefaultRelaxConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("relaxation not deterministic")
+	}
+}
+
+func TestConfidenceSmoothFollowsEps(t *testing.T) {
+	// Two flow values; the corrupted pixel has huge ε, neighbors have
+	// small ε — smoothing must pull it toward the confident neighbors.
+	f := grid.NewVectorField(9, 9)
+	f.U.Fill(1)
+	f.Set(4, 4, 9, 0) // outlier
+	eps := grid.New(9, 9)
+	eps.Fill(0.001)
+	eps.Set(4, 4, 100)
+	out, err := ConfidenceSmooth(f, eps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := out.At(4, 4)
+	if u > 1.5 {
+		t.Fatalf("low-confidence outlier kept u=%v, want ≈1", u)
+	}
+	// High-confidence pixels barely move.
+	if u2, _ := out.At(1, 1); u2 < 0.99 || u2 > 1.01 {
+		t.Fatalf("confident pixel changed to %v", u2)
+	}
+}
+
+func TestConfidenceSmoothValidation(t *testing.T) {
+	f := grid.NewVectorField(8, 8)
+	if _, err := ConfidenceSmooth(f, grid.New(7, 8), 1); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := ConfidenceSmooth(f, grid.New(8, 8), 0); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+}
+
+func TestVectorMedianRemovesImpulse(t *testing.T) {
+	f := grid.NewVectorField(9, 9)
+	f.U.Fill(2)
+	f.V.Fill(1)
+	f.Set(4, 4, -3, -3)
+	out, err := VectorMedian(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, v := out.At(4, 4); u != 2 || v != 1 {
+		t.Fatalf("impulse survived: (%v,%v)", u, v)
+	}
+}
+
+func TestVectorMedianPreservesLabels(t *testing.T) {
+	// Two-region field: every output vector must be one of the two input
+	// labels — never a blend (the property the componentwise median loses
+	// at diagonal boundaries).
+	f := grid.NewVectorField(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			if x+y < 10 {
+				f.Set(x, y, 2, 0)
+			} else {
+				f.Set(x, y, -1, 3)
+			}
+		}
+	}
+	out, err := VectorMedian(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			u, v := out.At(x, y)
+			if !((u == 2 && v == 0) || (u == -1 && v == 3)) {
+				t.Fatalf("blended label (%v,%v) at (%d,%d)", u, v, x, y)
+			}
+		}
+	}
+}
+
+func TestVectorMedianValidation(t *testing.T) {
+	if _, err := VectorMedian(grid.NewVectorField(4, 4), 0); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package quality
+
+import (
+	"strings"
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+func TestAssessCorrectFlowExplainsChange(t *testing.T) {
+	s := &synth.Scene{W: 48, H: 48, Flow: synth.Uniform{U: 2, V: 1},
+		Tex: synth.Hurricane(48, 48, 3).Tex}
+	i0 := s.Frame(0)
+	i1 := s.Frame(1)
+	truth := grid.NewVectorField(48, 48)
+	truth.U.Fill(2)
+	truth.V.Fill(1)
+	r, err := Assess(truth, i0, i1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WarpRMS >= r.BaselineRMS/3 {
+		t.Fatalf("true flow warpRMS %v not well below baseline %v", r.WarpRMS, r.BaselineRMS)
+	}
+	if f := r.ExplainedFraction(); f < 0.85 {
+		t.Fatalf("explained fraction %v too low for the true flow", f)
+	}
+}
+
+func TestAssessZeroFlowExplainsNothing(t *testing.T) {
+	s := &synth.Scene{W: 32, H: 32, Flow: synth.Uniform{U: 2, V: 0},
+		Tex: synth.Hurricane(32, 32, 5).Tex}
+	zero := grid.NewVectorField(32, 32)
+	r, err := Assess(zero, s.Frame(0), s.Frame(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WarpRMS != r.BaselineRMS {
+		t.Fatalf("zero flow warpRMS %v != baseline %v", r.WarpRMS, r.BaselineRMS)
+	}
+	if r.ExplainedFraction() > 1e-9 {
+		t.Fatalf("zero flow explains %v", r.ExplainedFraction())
+	}
+}
+
+func TestAssessSmoothnessOrdering(t *testing.T) {
+	smooth := grid.NewVectorField(16, 16)
+	smooth.U.Fill(1)
+	rough := grid.NewVectorField(16, 16)
+	for i := range rough.U.Data {
+		rough.U.Data[i] = float32(i % 3)
+	}
+	img := grid.New(16, 16)
+	rs, err := Assess(smooth, img, img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Assess(rough, img, img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Smoothness >= rr.Smoothness {
+		t.Fatalf("uniform field smoothness %v not below rough %v", rs.Smoothness, rr.Smoothness)
+	}
+	if rs.Smoothness > 1e-9 {
+		t.Fatalf("uniform field smoothness %v, want 0", rs.Smoothness)
+	}
+}
+
+func TestAssessEpsQuantiles(t *testing.T) {
+	s := synth.Thunderstorm(24, 24, 7)
+	pair := core.Monocular(s.Frame(0), s.Frame(1))
+	res, err := core.TrackSequential(pair, core.Params{NS: 2, NZS: 2, NZT: 3}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Assess(res.Flow, pair.I0, pair.I1, res.Err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EpsMedian < 0 || r.Eps90 < r.EpsMedian {
+		t.Fatalf("ε quantiles inconsistent: median %v p90 %v", r.EpsMedian, r.Eps90)
+	}
+	if !strings.Contains(r.String(), "explained=") {
+		t.Fatalf("summary %q missing fields", r.String())
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	f := grid.NewVectorField(8, 8)
+	g := grid.New(8, 8)
+	if _, err := Assess(f, g, grid.New(9, 8), nil); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Assess(f, g, g, grid.New(4, 4)); err == nil {
+		t.Fatal("mismatched eps accepted")
+	}
+}

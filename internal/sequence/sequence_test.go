@@ -1,0 +1,197 @@
+package sequence
+
+import (
+	"math"
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/geom"
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+func uniformFrames(w, h, n int, seed int64, u, v float64) []*grid.Grid {
+	s := &synth.Scene{W: w, H: h, Flow: synth.Uniform{U: u, V: v},
+		Tex: synth.Hurricane(w, h, seed).Tex}
+	frames := make([]*grid.Grid, n)
+	for i := range frames {
+		frames[i] = s.Frame(float64(i))
+	}
+	return frames
+}
+
+func TestTrackSequencePairCount(t *testing.T) {
+	frames := uniformFrames(24, 24, 4, 3, 1, 0)
+	p := core.Params{NS: 2, NZS: 2, NZT: 3}
+	flows, err := Track(frames, p, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 3 {
+		t.Fatalf("got %d flows, want 3", len(flows))
+	}
+	for i, f := range flows {
+		if u, v := f.At(12, 12); u != 1 || v != 0 {
+			t.Fatalf("flow %d at center = (%v,%v), want (1,0)", i, u, v)
+		}
+	}
+}
+
+func TestTrackSequenceValidation(t *testing.T) {
+	p := core.Params{NS: 2, NZS: 2, NZT: 3}
+	if _, err := Track([]*grid.Grid{grid.New(8, 8)}, p, core.Options{}, 1); err == nil {
+		t.Fatal("single-frame sequence accepted")
+	}
+}
+
+func TestTrackSequenceParallelMatches(t *testing.T) {
+	frames := uniformFrames(20, 20, 3, 5, 1, 1)
+	p := core.Params{NS: 2, NZS: 2, NZT: 3}
+	a, err := Track(frames, p, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Track(frames, p, core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("flow %d differs between serial and parallel sequence drivers", i)
+		}
+	}
+}
+
+func TestTrajectoriesThroughUniformFlow(t *testing.T) {
+	flows := make([]*grid.VectorField, 3)
+	for i := range flows {
+		f := grid.NewVectorField(32, 32)
+		f.U.Fill(2)
+		f.V.Fill(-1)
+		flows[i] = f
+	}
+	paths := Trajectories(flows, []grid.Point{{X: 5, Y: 20}})
+	if len(paths) != 1 || len(paths[0]) != 4 {
+		t.Fatalf("path shape %d×%d", len(paths), len(paths[0]))
+	}
+	end := paths[0][3]
+	if math.Abs(end.X-11) > 1e-6 || math.Abs(end.Y-17) > 1e-6 {
+		t.Fatalf("end = %+v, want (11, 17)", end)
+	}
+}
+
+func TestTrajectoriesClampAtBorder(t *testing.T) {
+	f := grid.NewVectorField(16, 16)
+	f.U.Fill(10)
+	paths := Trajectories([]*grid.VectorField{f, f, f}, []grid.Point{{X: 8, Y: 8}})
+	for _, p := range paths[0] {
+		if p.X > 15 || p.X < 0 || p.Y > 15 || p.Y < 0 {
+			t.Fatalf("trajectory escaped the image: %+v", p)
+		}
+	}
+}
+
+func TestWindMSConversion(t *testing.T) {
+	// 1 px/frame at 1 km/px over 100 s = 10 m/s.
+	g := Geometry{KmPerPixel: 1, SecondsPerDt: 100}
+	speed, dir := g.WindMS(1, 0)
+	if math.Abs(speed-10) > 1e-9 {
+		t.Fatalf("speed = %v, want 10", speed)
+	}
+	// Eastward motion = wind FROM the west = 270°.
+	if math.Abs(dir-270) > 1e-9 {
+		t.Fatalf("direction = %v, want 270", dir)
+	}
+	// Northward (screen-up: dv < 0) motion = wind FROM the south = 180°.
+	_, dir = g.WindMS(0, -1)
+	if math.Abs(dir-180) > 1e-9 {
+		t.Fatalf("direction = %v, want 180", dir)
+	}
+}
+
+func TestWindMSZeroInterval(t *testing.T) {
+	g := Geometry{KmPerPixel: 1}
+	if s, _ := g.WindMS(1, 1); s != 0 {
+		t.Fatalf("zero interval produced speed %v", s)
+	}
+}
+
+func TestWindField(t *testing.T) {
+	f := grid.NewVectorField(4, 4)
+	f.U.Fill(1)
+	g := Geometry{KmPerPixel: 4, SecondsPerDt: 450} // Frederic-like
+	speed, dir := g.WindField(f)
+	// 1 px/frame · 4 km / 450 s ≈ 8.9 m/s from the west.
+	if v := speed.At(2, 2); math.Abs(float64(v)-8.888) > 0.01 {
+		t.Fatalf("speed = %v", v)
+	}
+	if d := dir.At(2, 2); math.Abs(float64(d)-270) > 1e-3 {
+		t.Fatalf("direction = %v", d)
+	}
+}
+
+func TestTrackTemporalReachesLargeMotion(t *testing.T) {
+	// 4 px/frame motion with a ±1 search: hopeless flat, easy with the
+	// pyramid start + temporal prior chain.
+	frames := uniformFrames(48, 48, 4, 7, 4, 0)
+	p := core.Params{NS: 2, NZS: 1, NZT: 3}
+	flows, err := TrackTemporal(frames, p, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range flows {
+		good, tot := 0, 0
+		for y := 12; y < 36; y++ {
+			for x := 12; x < 36; x++ {
+				tot++
+				if u, v := f.At(x, y); u == 4 && v == 0 {
+					good++
+				}
+			}
+		}
+		if good*10 < tot*8 {
+			t.Fatalf("pair %d: only %d/%d correct with temporal prior", i, good, tot)
+		}
+	}
+	// Control: the same per-pair search without priors cannot reach 4 px.
+	flat, err := Track(frames[:2], p, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, _ := flat[0].At(24, 24); u == 4 {
+		t.Fatal("control flat search unexpectedly reached 4 px")
+	}
+}
+
+func TestTrackTemporalValidation(t *testing.T) {
+	p := core.Params{NS: 2, NZS: 1, NZT: 3}
+	if _, err := TrackTemporal([]*grid.Grid{grid.New(8, 8)}, p, 2, core.Options{}); err == nil {
+		t.Fatal("single frame accepted")
+	}
+	frames := uniformFrames(16, 16, 3, 9, 1, 0)
+	semi := core.ScaledParams()
+	if _, err := TrackTemporal(frames, semi, 2, core.Options{}); err == nil {
+		t.Fatal("semi-fluid temporal tracking accepted (unsupported)")
+	}
+}
+
+func TestWindFieldVariableFootprint(t *testing.T) {
+	// Same pixel displacement at center vs border: the border's larger
+	// footprint means a faster physical wind (the paper's 1 km vs 4 km).
+	f := grid.NewVectorField(9, 9)
+	f.U.Fill(1)
+	g := Geometry{SecondsPerDt: 100}
+	kmAt := func(x, y int) float64 {
+		d, err := geom.FootprintKm(1, float64(x)*8) // 0°..64° across the row
+		if err != nil {
+			t.Fatalf("footprint: %v", err)
+		}
+		return d
+	}
+	speed := g.WindFieldVariable(f, kmAt)
+	center := speed.At(0, 4)
+	border := speed.At(8, 4)
+	if border <= center*2 {
+		t.Fatalf("border wind %v not well above center %v for equal pixel motion", border, center)
+	}
+}

@@ -1,0 +1,234 @@
+package surface
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sma/internal/grid"
+)
+
+// quadGrid builds a grid sampling z = c0 + c1 x + c2 y + c3 x² + c4 xy + c5 y².
+func quadGrid(w, h int, c [6]float64) *grid.Grid {
+	g := grid.New(w, h)
+	g.ApplyXY(func(x, y int, _ float32) float32 {
+		fx, fy := float64(x), float64(y)
+		return float32(c[0] + c[1]*fx + c[2]*fy + c[3]*fx*fx + c[4]*fx*fy + c[5]*fy*fy)
+	})
+	return g
+}
+
+func TestNewFitterPanicsOnZeroRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFitter(0) did not panic")
+		}
+	}()
+	NewFitter(0)
+}
+
+func TestFitRecoversExactQuadratic(t *testing.T) {
+	// A global quadratic is recovered exactly at interior pixels.
+	c := [6]float64{2, 0.5, -0.25, 0.05, -0.02, 0.03}
+	g := quadGrid(16, 16, c)
+	f := NewFitter(2)
+	p, ok := f.Fit(g, 8, 8)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	// Recentre: coefficients of the patch are in local (u,v) coordinates.
+	// z(8+u, 8+v) expanded: constant/linear terms change, quadratic stay.
+	if math.Abs(p.C[3]-c[3]) > 1e-6 || math.Abs(p.C[4]-c[4]) > 1e-6 || math.Abs(p.C[5]-c[5]) > 1e-6 {
+		t.Fatalf("quadratic terms %v, want %v", p.C[3:6], c[3:6])
+	}
+	wantZx := c[1] + 2*c[3]*8 + c[4]*8
+	wantZy := c[2] + c[4]*8 + 2*c[5]*8
+	if math.Abs(p.SlopeX()-wantZx) > 1e-6 {
+		t.Fatalf("SlopeX = %v, want %v", p.SlopeX(), wantZx)
+	}
+	if math.Abs(p.SlopeY()-wantZy) > 1e-6 {
+		t.Fatalf("SlopeY = %v, want %v", p.SlopeY(), wantZy)
+	}
+	wantZ := c[0] + c[1]*8 + c[2]*8 + c[3]*64 + c[4]*64 + c[5]*64
+	if math.Abs(p.C[0]-wantZ) > 1e-6 {
+		t.Fatalf("C0 = %v, want %v", p.C[0], wantZ)
+	}
+}
+
+func TestFitPlaneGivesZeroDiscriminant(t *testing.T) {
+	g := quadGrid(12, 12, [6]float64{1, 0.3, -0.7, 0, 0, 0})
+	f := NewFitter(2)
+	p, _ := f.Fit(g, 6, 6)
+	if math.Abs(p.Discriminant()) > 1e-8 {
+		t.Fatalf("plane discriminant = %v, want 0", p.Discriminant())
+	}
+}
+
+func TestDiscriminantSignatures(t *testing.T) {
+	f := NewFitter(2)
+	// Bowl (elliptic): D > 0. Saddle (hyperbolic): D < 0.
+	bowl := quadGrid(12, 12, [6]float64{0, 0, 0, 1, 0, 1})
+	saddle := quadGrid(12, 12, [6]float64{0, 0, 0, 1, 0, -1})
+	pb, _ := f.Fit(bowl, 6, 6)
+	ps, _ := f.Fit(saddle, 6, 6)
+	if pb.Discriminant() <= 0 {
+		t.Fatalf("bowl discriminant %v, want > 0", pb.Discriminant())
+	}
+	if ps.Discriminant() >= 0 {
+		t.Fatalf("saddle discriminant %v, want < 0", ps.Discriminant())
+	}
+}
+
+func TestPatchEval(t *testing.T) {
+	p := Patch{C: [6]float64{1, 2, 3, 4, 5, 6}}
+	// 1 + 2*1 + 3*2 + 4*1 + 5*2 + 6*4 = 47
+	if got := p.Eval(1, 2); math.Abs(got-47) > 1e-12 {
+		t.Fatalf("Eval = %v, want 47", got)
+	}
+}
+
+func TestFitAllNormalsOnTiltedPlane(t *testing.T) {
+	// Plane z = 2x: zx = 2, zy = 0, so n ∝ (−2, 0, 1)/√5.
+	g := quadGrid(16, 16, [6]float64{0, 2, 0, 0, 0, 0})
+	f := NewFitter(2)
+	fl := f.FitAll(g)
+	wantNi := -2 / math.Sqrt(5)
+	wantNk := 1 / math.Sqrt(5)
+	for y := 3; y < 13; y++ {
+		for x := 3; x < 13; x++ {
+			ni, nj, nk := fl.NormalAt(x, y)
+			if math.Abs(ni-wantNi) > 1e-5 || math.Abs(nj) > 1e-5 || math.Abs(nk-wantNk) > 1e-5 {
+				t.Fatalf("normal(%d,%d) = (%v,%v,%v)", x, y, ni, nj, nk)
+			}
+		}
+	}
+}
+
+func TestFitAllFundamentalForm(t *testing.T) {
+	// Plane z = 3y: E = 1, G = 1+9 = 10.
+	g := quadGrid(16, 16, [6]float64{0, 0, 3, 0, 0, 0})
+	fl := NewFitter(2).FitAll(g)
+	if e := fl.E.At(8, 8); math.Abs(float64(e)-1) > 1e-4 {
+		t.Fatalf("E = %v, want 1", e)
+	}
+	if gg := fl.G.At(8, 8); math.Abs(float64(gg)-10) > 1e-3 {
+		t.Fatalf("G = %v, want 10", gg)
+	}
+}
+
+func TestFitAllFlatSurface(t *testing.T) {
+	g := grid.New(8, 8)
+	g.Fill(5)
+	fl := NewFitter(1).FitAll(g)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			ni, nj, nk := fl.NormalAt(x, y)
+			if ni != 0 || nj != 0 || math.Abs(nk-1) > 1e-7 {
+				t.Fatalf("flat normal(%d,%d) = (%v,%v,%v), want (0,0,1)", x, y, ni, nj, nk)
+			}
+			if d := fl.D.At(x, y); d != 0 {
+				t.Fatalf("flat discriminant = %v", d)
+			}
+		}
+	}
+}
+
+func TestWindowSize(t *testing.T) {
+	if s := NewFitter(2).WindowSize(); s != 5 {
+		t.Fatalf("WindowSize = %d, want 5 (paper's surface-fit window)", s)
+	}
+}
+
+func TestFitSmoothsNoise(t *testing.T) {
+	// Fitting is a projection: re-fitting the patch reconstruction of a
+	// noisy plane must estimate slope better than a raw central difference.
+	rng := rand.New(rand.NewSource(5))
+	g := grid.New(32, 32)
+	g.ApplyXY(func(x, y int, _ float32) float32 {
+		return float32(0.5*float64(x)) + (rng.Float32()-0.5)*0.2
+	})
+	f := NewFitter(2)
+	var fitErr, rawErr float64
+	for y := 4; y < 28; y++ {
+		for x := 4; x < 28; x++ {
+			p, _ := f.Fit(g, x, y)
+			fitErr += math.Abs(p.SlopeX() - 0.5)
+			raw := float64(g.At(x+1, y)-g.At(x-1, y)) / 2
+			rawErr += math.Abs(raw - 0.5)
+		}
+	}
+	if fitErr >= rawErr {
+		t.Fatalf("patch fit slope error %v not better than raw %v", fitErr, rawErr)
+	}
+}
+
+// Property: unit normals from FitAll always have unit length and positive
+// z-component (the surface is a height field, never vertical).
+func TestPropertyNormalsUnitLength(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := grid.New(10, 10)
+		for i := range g.Data {
+			g.Data[i] = rng.Float32() * 10
+		}
+		fl := NewFitter(1).FitAll(g)
+		for y := 0; y < 10; y++ {
+			for x := 0; x < 10; x++ {
+				ni, nj, nk := fl.NormalAt(x, y)
+				len2 := ni*ni + nj*nj + nk*nk
+				if math.Abs(len2-1) > 1e-5 || nk <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the fit is invariant to adding a constant offset to the image
+// except in C0 (pure translation of the surface along z).
+func TestPropertyFitOffsetInvariance(t *testing.T) {
+	f := func(seed int64, offRaw uint8) bool {
+		off := float32(offRaw)
+		rng := rand.New(rand.NewSource(seed))
+		g := grid.New(9, 9)
+		for i := range g.Data {
+			g.Data[i] = rng.Float32() * 4
+		}
+		g2 := g.Clone()
+		g2.Apply(func(v float32) float32 { return v + off })
+		ft := NewFitter(2)
+		p1, _ := ft.Fit(g, 4, 4)
+		p2, _ := ft.Fit(g2, 4, 4)
+		if math.Abs((p2.C[0]-p1.C[0])-float64(off)) > 1e-4 {
+			return false
+		}
+		for i := 1; i < 6; i++ {
+			if math.Abs(p2.C[i]-p1.C[i]) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFitAll64(b *testing.B) {
+	g := grid.New(64, 64)
+	rng := rand.New(rand.NewSource(2))
+	for i := range g.Data {
+		g.Data[i] = rng.Float32() * 255
+	}
+	f := NewFitter(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.FitAll(g)
+	}
+}

@@ -1,0 +1,197 @@
+package synth
+
+import (
+	"math"
+
+	"sma/internal/grid"
+)
+
+// Eddies returns an ocean-eddy scene — another application domain the
+// paper names ("ocean eddies and currents that maintain identifiable
+// features in multispectral imagery"): several counter-rotating vortices
+// embedded in a slow zonal current, advecting a sea-surface-temperature-
+// like texture.
+func Eddies(w, h int, seed int64) *Scene {
+	n := NewNoise(seed)
+	fw := float64(w)
+	fh := float64(h)
+	flows := Sum{
+		Uniform{U: 0.4, V: 0.05}, // background current
+		Vortex{CX: fw * 0.3, CY: fh * 0.35, RMax: fw / 8, VMax: 1.2},
+		Vortex{CX: fw * 0.68, CY: fh * 0.62, RMax: fw / 9, VMax: -1.0}, // counter-rotating
+		Vortex{CX: fw * 0.55, CY: fh * 0.25, RMax: fw / 12, VMax: 0.8},
+	}
+	return &Scene{
+		W: w, H: h,
+		Flow: flows,
+		Tex: func(x, y float64) float64 {
+			// Large-scale SST gradient plus mesoscale filaments.
+			base := 0.35 + 0.3*(y/fh)
+			fil := n.Octaves(x/18, y/18, 5, 0.6)
+			return clamp01(base + 0.35*(fil-0.5))
+		},
+		ZGain: 0.02,
+	}
+}
+
+// FissionFrames renders a dividing-cell sequence — the paper's biological
+// motivation ("fission and fusion in biological microorganisms"): a
+// bright elliptical body pinches at its waist and separates into two
+// bodies drifting apart. Motion is genuinely non-rigid and topology-
+// changing, which no global-rigidity tracker can represent. Returns the
+// frames and the (approximate) per-pixel ground truth between consecutive
+// frames: pixels left of the split line move with the left daughter cell,
+// pixels right of it with the right one.
+func FissionFrames(w, h, frames int, seed int64) ([]*grid.Grid, []*grid.VectorField) {
+	n := NewNoise(seed)
+	cx := float64(w) / 2
+	cy := float64(h) / 2
+	sep := func(t float64) float64 { return 1.2 * t } // px/frame separation speed
+	body := func(x, y, bx, by, rx, ry float64) float64 {
+		dx := (x - bx) / rx
+		dy := (y - by) / ry
+		return math.Exp(-(dx*dx + dy*dy) / 2)
+	}
+	render := func(t float64) *grid.Grid {
+		g := grid.New(w, h)
+		off := sep(t)
+		rx := float64(w) / 7
+		ry := float64(h) / 6
+		g.ApplyXY(func(xi, yi int, _ float32) float32 {
+			x := float64(xi)
+			y := float64(yi)
+			// Two daughter nuclei moving apart; the waist fades as they
+			// separate, pinching the original body in two. Each body's
+			// internal texture advects with it (sampled in body-local
+			// coordinates), so the image motion is the body motion.
+			vL := body(x, y, cx-off, cy, rx, ry)
+			vR := body(x, y, cx+off, cy, rx, ry)
+			texL := 0.55 + 0.45*n.Octaves((x+off)/5, y/5, 3, 0.5)
+			texR := 0.55 + 0.45*n.Octaves((x-off)/5, y/5, 3, 0.5)
+			waist := math.Exp(-off/1.8) * body(x, y, cx, cy, rx*0.7, ry*0.8)
+			texC := 0.55 + 0.45*n.Octaves(x/5, y/5, 3, 0.5)
+			return float32(255 * clamp01(0.08+0.9*clamp01(vL*0.42*texL+vR*0.42*texR+waist*0.35*texC)))
+		})
+		return g
+	}
+	imgs := make([]*grid.Grid, frames)
+	for t := range imgs {
+		imgs[t] = render(float64(t))
+	}
+	truths := make([]*grid.VectorField, frames-1)
+	for t := range truths {
+		f := grid.NewVectorField(w, h)
+		d := float32(sep(float64(t+1)) - sep(float64(t)))
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if float64(x) < cx {
+					f.Set(x, y, -d, 0)
+				} else {
+					f.Set(x, y, d, 0)
+				}
+			}
+		}
+		truths[t] = f
+	}
+	return imgs, truths
+}
+
+// IceFloes renders a polar sea-ice scene — the remaining application
+// domain the paper names ("polar sea ice"): bright rigid floes drifting
+// and slowly rotating over dark water, each with its own motion.
+// Piecewise-rigid motion with discontinuities at floe boundaries is the
+// regime between the continuous and fluid models. Returns two frames and
+// the per-pixel ground truth (water pixels carry zero motion).
+func IceFloes(w, h int, seed int64) (f0, f1 *grid.Grid, truth *grid.VectorField) {
+	n := NewNoise(seed)
+	type floe struct {
+		cx, cy, r     float64
+		du, dv, omega float64
+	}
+	floes := []floe{
+		{cx: float64(w) * 0.30, cy: float64(h) * 0.35, r: float64(w) * 0.18, du: 2, dv: 0, omega: 0.03},
+		{cx: float64(w) * 0.70, cy: float64(h) * 0.60, r: float64(w) * 0.16, du: -1, dv: 1, omega: -0.04},
+		{cx: float64(w) * 0.42, cy: float64(h) * 0.78, r: float64(w) * 0.10, du: 0, dv: -2, omega: 0},
+	}
+	render := func(t float64) *grid.Grid {
+		g := grid.New(w, h)
+		g.ApplyXY(func(xi, yi int, _ float32) float32 {
+			x := float64(xi)
+			y := float64(yi)
+			// Water background: dark with faint swell texture.
+			val := 30 + 25*n.Octaves(x/9, y/9, 3, 0.5)
+			for fi, f := range floes {
+				// Invert the floe's rigid motion to sample its texture.
+				dx := x - (f.cx + f.du*t)
+				dy := y - (f.cy + f.dv*t)
+				ang := -f.omega * t
+				rx := dx*math.Cos(ang) - dy*math.Sin(ang)
+				ry := dx*math.Sin(ang) + dy*math.Cos(ang)
+				if rx*rx+ry*ry < f.r*f.r {
+					tex := n.Octaves((rx+f.cx)/6+float64(fi)*31, (ry+f.cy)/6, 4, 0.55)
+					val = 150 + 90*tex
+					break
+				}
+			}
+			return float32(val)
+		})
+		return g
+	}
+	f0 = render(0)
+	f1 = render(1)
+	truth = grid.NewVectorField(w, h)
+	for yi := 0; yi < h; yi++ {
+		for xi := 0; xi < w; xi++ {
+			x := float64(xi)
+			y := float64(yi)
+			for _, f := range floes {
+				dx := x - f.cx
+				dy := y - f.cy
+				if dx*dx+dy*dy < f.r*f.r {
+					// Rigid motion of the point: rotation by ω about the
+					// center moves (dx, dy) to (dx·cosω − dy·sinω,
+					// dx·sinω + dy·cosω) — to first order a displacement
+					// of (−ω·dy, ω·dx) — plus the floe translation.
+					truth.Set(xi, yi, float32(f.du-f.omega*dy), float32(f.dv+f.omega*dx))
+					break
+				}
+			}
+		}
+	}
+	return f0, f1, truth
+}
+
+// PlumeFrames renders an aerosol/gas plume — the paper's remaining
+// remote-sensing domain ("atmospheric aerosols and gases"): a tracer
+// cloud advected by a shear flow while diffusing, so its appearance
+// changes between frames (brightness constancy holds only approximately).
+// Returns the frames and the advection ground truth; the diffusion rate
+// controls how strongly appearance changes stress the tracker.
+func PlumeFrames(w, h, frames int, seed int64, diffusion float64) ([]*grid.Grid, []*grid.VectorField) {
+	n := NewNoise(seed)
+	fl := Shear{U0: 1.2, DUdY: 1.0 / float64(h), V: 0.3}
+	base := &Scene{
+		W: w, H: h,
+		Flow: fl,
+		Tex: func(x, y float64) float64 {
+			// Puffy plume: a ridge of emission with noise structure.
+			dy := (y - float64(h)*0.5) / (float64(h) * 0.18)
+			ridge := math.Exp(-dy * dy)
+			return clamp01(0.1 + 0.85*ridge*n.Octaves(x/8, y/8, 4, 0.55))
+		},
+	}
+	imgs := make([]*grid.Grid, frames)
+	for t := range imgs {
+		f := base.Frame(float64(t))
+		if diffusion > 0 && t > 0 {
+			// Diffusion grows with time: σ² ∝ t.
+			f = f.GaussianBlur(diffusion * math.Sqrt(float64(t)))
+		}
+		imgs[t] = f
+	}
+	truths := make([]*grid.VectorField, frames-1)
+	for t := range truths {
+		truths[t] = base.Truth(1)
+	}
+	return imgs, truths
+}

@@ -1,0 +1,120 @@
+package synth
+
+import "math"
+
+// Flow is a steady 2-D velocity field in pixels per frame. All synthetic
+// scene motion is defined by a Flow, which makes the ground-truth
+// inter-frame displacement computable to machine precision.
+type Flow interface {
+	// Vel returns the velocity (u, v) at position (x, y) in px/frame.
+	Vel(x, y float64) (u, v float64)
+}
+
+// Uniform is a constant translation — the simplest quasi-rigid motion.
+type Uniform struct{ U, V float64 }
+
+// Vel implements Flow.
+func (f Uniform) Vel(x, y float64) (u, v float64) { return f.U, f.V }
+
+// Vortex is a Rankine-like hurricane vortex: tangential speed rises
+// linearly to VMax at radius RMax and decays as exp(1−r/RMax) outside,
+// superposed with a uniform storm drift. This is the Hurricane
+// Frederic/Luis analog.
+type Vortex struct {
+	CX, CY     float64 // vortex center in pixels
+	RMax       float64 // radius of maximum wind, pixels
+	VMax       float64 // tangential speed at RMax, px/frame
+	DriftU     float64 // storm translation, px/frame
+	DriftV     float64
+	Convergent float64 // radial inflow fraction (0 = pure rotation)
+}
+
+// Vel implements Flow.
+func (f Vortex) Vel(x, y float64) (u, v float64) {
+	dx := x - f.CX
+	dy := y - f.CY
+	r := math.Hypot(dx, dy)
+	if r < 1e-9 {
+		return f.DriftU, f.DriftV
+	}
+	var speed float64
+	if r <= f.RMax {
+		speed = f.VMax * r / f.RMax
+	} else {
+		speed = f.VMax * math.Exp(1-r/f.RMax) // decays smoothly outward
+	}
+	// Tangential unit vector (counterclockwise) plus optional inflow.
+	tx, ty := -dy/r, dx/r
+	rx, ry := -dx/r, -dy/r
+	u = speed*(tx+f.Convergent*rx) + f.DriftU
+	v = speed*(ty+f.Convergent*ry) + f.DriftV
+	return u, v
+}
+
+// Shear is a horizontal wind shear: u varies linearly with y. It models
+// the differential advection between cloud layers.
+type Shear struct {
+	U0, DUdY float64 // u = U0 + DUdY·y
+	V        float64
+}
+
+// Vel implements Flow.
+func (f Shear) Vel(x, y float64) (u, v float64) { return f.U0 + f.DUdY*y, f.V }
+
+// Cells is a divergent convective-cell field: each cell is a radial
+// outflow source with Gaussian falloff, modeling thunderstorm anvil growth
+// (the GOES-9 Florida scene analog). This is genuinely non-rigid,
+// locally fluid motion.
+type Cells struct {
+	Centers  [][2]float64
+	Strength float64 // peak radial speed, px/frame
+	Sigma    float64 // cell size, pixels
+}
+
+// Vel implements Flow.
+func (f Cells) Vel(x, y float64) (u, v float64) {
+	for _, c := range f.Centers {
+		dx := x - c[0]
+		dy := y - c[1]
+		r2 := dx*dx + dy*dy
+		w := f.Strength * math.Exp(-r2/(2*f.Sigma*f.Sigma))
+		u += w * dx / f.Sigma
+		v += w * dy / f.Sigma
+	}
+	return u, v
+}
+
+// Sum composes flows by velocity addition.
+type Sum []Flow
+
+// Vel implements Flow.
+func (fs Sum) Vel(x, y float64) (u, v float64) {
+	for _, f := range fs {
+		du, dv := f.Vel(x, y)
+		u += du
+		v += dv
+	}
+	return u, v
+}
+
+// Displace integrates a particle forward through the steady flow for dt
+// frames using RK2 (midpoint) substeps, returning the total displacement.
+// This is the exact ground-truth motion between frames t and t+dt.
+func Displace(f Flow, x, y, dt float64) (dx, dy float64) {
+	const maxStep = 0.25 // frames per substep, keeps curved paths accurate
+	n := int(math.Ceil(math.Abs(dt) / maxStep))
+	if n < 1 {
+		n = 1
+	}
+	h := dt / float64(n)
+	px, py := x, y
+	for i := 0; i < n; i++ {
+		u1, v1 := f.Vel(px, py)
+		mx := px + 0.5*h*u1
+		my := py + 0.5*h*v1
+		u2, v2 := f.Vel(mx, my)
+		px += h * u2
+		py += h * v2
+	}
+	return px - x, py - y
+}

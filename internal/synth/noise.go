@@ -1,0 +1,68 @@
+// Package synth generates the synthetic GOES-like datasets that stand in
+// for the paper's proprietary satellite imagery: cloud-textured intensity
+// fields advected by analytically known flows (hurricane vortex, shear,
+// convective cells, multi-layer decks) plus stereo pairs with known
+// disparity. Because every generated sequence carries its exact
+// ground-truth motion field, the paper's accuracy experiment (RMSE < 1 px
+// against 32 manually tracked wind barbs) becomes checkable.
+package synth
+
+import "math"
+
+// Noise is deterministic 2-D value noise: random lattice values blended by
+// a smoothstep kernel, summed over octaves. It provides the cloud texture
+// of the synthetic scenes without any external data.
+type Noise struct {
+	seed uint64
+}
+
+// NewNoise returns a noise source for the given seed. Equal seeds produce
+// identical fields on every platform (the hash is integer-only).
+func NewNoise(seed int64) *Noise { return &Noise{seed: uint64(seed)*2654435761 + 0x9e3779b97f4a7c15} }
+
+// lattice returns a pseudo-random value in [0, 1) at integer cell (x, y).
+func (n *Noise) lattice(x, y int32) float64 {
+	h := n.seed
+	h ^= uint64(uint32(x)) * 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 29)) * 0xbf58476d1ce4e5b9
+	h ^= uint64(uint32(y)) * 0xc2b2ae3d27d4eb4f
+	h = (h ^ (h >> 32)) * 0x94d049bb133111eb
+	h ^= h >> 29
+	return float64(h>>11) / float64(1<<53)
+}
+
+// smoothstep is the C¹ interpolation kernel 3t²−2t³.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// Value returns smooth noise in [0, 1) at continuous coordinates (x, y)
+// with unit lattice spacing.
+func (n *Noise) Value(x, y float64) float64 {
+	xf := math.Floor(x)
+	yf := math.Floor(y)
+	x0 := int32(xf)
+	y0 := int32(yf)
+	tx := smoothstep(x - xf)
+	ty := smoothstep(y - yf)
+	v00 := n.lattice(x0, y0)
+	v10 := n.lattice(x0+1, y0)
+	v01 := n.lattice(x0, y0+1)
+	v11 := n.lattice(x0+1, y0+1)
+	top := v00 + tx*(v10-v00)
+	bot := v01 + tx*(v11-v01)
+	return top + ty*(bot-top)
+}
+
+// Octaves sums `octaves` noise layers with frequency doubling and the given
+// amplitude persistence, normalized back to [0, 1).
+func (n *Noise) Octaves(x, y float64, octaves int, persistence float64) float64 {
+	var sum, norm float64
+	amp := 1.0
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * n.Value(x*freq+float64(o)*17.31, y*freq-float64(o)*11.7)
+		norm += amp
+		amp *= persistence
+		freq *= 2
+	}
+	return sum / norm
+}

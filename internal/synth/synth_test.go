@@ -1,0 +1,286 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sma/internal/grid"
+)
+
+func TestNoiseDeterministicAndSeedSensitive(t *testing.T) {
+	a := NewNoise(1)
+	b := NewNoise(1)
+	c := NewNoise(2)
+	var diff bool
+	for i := 0; i < 50; i++ {
+		x := float64(i) * 0.37
+		y := float64(i) * 0.91
+		if a.Value(x, y) != b.Value(x, y) {
+			t.Fatal("same seed produced different noise")
+		}
+		if a.Value(x, y) != c.Value(x, y) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestNoiseRange(t *testing.T) {
+	n := NewNoise(3)
+	for i := 0; i < 500; i++ {
+		v := n.Octaves(float64(i)*0.173, float64(i)*0.311, 4, 0.5)
+		if v < 0 || v >= 1 {
+			t.Fatalf("octave noise out of range: %v", v)
+		}
+	}
+}
+
+func TestNoiseContinuity(t *testing.T) {
+	// Value noise must be continuous: small input deltas -> small output deltas.
+	n := NewNoise(4)
+	for i := 0; i < 200; i++ {
+		x := float64(i) * 0.37
+		y := float64(i) * 0.73
+		d := math.Abs(n.Value(x, y) - n.Value(x+1e-4, y))
+		if d > 1e-2 {
+			t.Fatalf("discontinuity %v at (%v,%v)", d, x, y)
+		}
+	}
+}
+
+func TestUniformDisplace(t *testing.T) {
+	f := Uniform{U: 2, V: -1}
+	dx, dy := Displace(f, 10, 10, 3)
+	if math.Abs(dx-6) > 1e-9 || math.Abs(dy+3) > 1e-9 {
+		t.Fatalf("Displace = (%v,%v), want (6,-3)", dx, dy)
+	}
+}
+
+func TestVortexSpeedProfile(t *testing.T) {
+	v := Vortex{CX: 0, CY: 0, RMax: 10, VMax: 2}
+	speed := func(r float64) float64 {
+		u, vv := v.Vel(r, 0)
+		return math.Hypot(u, vv)
+	}
+	if s := speed(10); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("speed at RMax = %v, want 2", s)
+	}
+	if s := speed(5); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("speed inside = %v, want 1", s)
+	}
+	if s := speed(30); s >= speed(10) {
+		t.Fatalf("speed does not decay outside RMax: %v", s)
+	}
+	// Pure rotation: velocity perpendicular to radius.
+	u, vv := v.Vel(7, 0)
+	if math.Abs(u) > 1e-9 || vv <= 0 {
+		t.Fatalf("velocity at (7,0) = (%v,%v), want (0,+)", u, vv)
+	}
+}
+
+func TestVortexCenterIsDriftOnly(t *testing.T) {
+	v := Vortex{CX: 5, CY: 5, RMax: 10, VMax: 2, DriftU: 0.3, DriftV: -0.2}
+	u, vv := v.Vel(5, 5)
+	if u != 0.3 || vv != -0.2 {
+		t.Fatalf("center velocity = (%v,%v), want drift (0.3,-0.2)", u, vv)
+	}
+}
+
+func TestCellsDivergence(t *testing.T) {
+	c := Cells{Centers: [][2]float64{{0, 0}}, Strength: 1, Sigma: 5}
+	// Outflow points away from the center on all four sides.
+	for _, p := range [][2]float64{{3, 0}, {-3, 0}, {0, 3}, {0, -3}} {
+		u, v := c.Vel(p[0], p[1])
+		if u*p[0]+v*p[1] <= 0 {
+			t.Fatalf("cell flow at %v not divergent: (%v,%v)", p, u, v)
+		}
+	}
+}
+
+func TestSumComposition(t *testing.T) {
+	f := Sum{Uniform{U: 1, V: 0}, Uniform{U: 0, V: 2}}
+	u, v := f.Vel(0, 0)
+	if u != 1 || v != 2 {
+		t.Fatalf("sum = (%v,%v), want (1,2)", u, v)
+	}
+}
+
+func TestDisplaceReversibility(t *testing.T) {
+	// Forward then backward integration through a curved flow returns home.
+	f := Vortex{CX: 32, CY: 32, RMax: 12, VMax: 2}
+	x, y := 40.0, 28.0
+	dx, dy := Displace(f, x, y, 2)
+	bx, by := Displace(f, x+dx, y+dy, -2)
+	if math.Abs(x+dx+bx-x) > 1e-3 || math.Abs(y+dy+by-y) > 1e-3 {
+		t.Fatalf("round trip error (%v,%v)", x+dx+bx-x, y+dy+by-y)
+	}
+}
+
+func TestSceneBrightnessConstancyAlongTrajectory(t *testing.T) {
+	s := Hurricane(64, 64, 7)
+	f0 := s.Frame(0)
+	f1 := s.Frame(1)
+	truth := s.Truth(1)
+	// Sample interior pixels: f1 at the advected location equals f0.
+	var maxd float64
+	for y := 12; y < 52; y += 4 {
+		for x := 12; x < 52; x += 4 {
+			u, v := truth.At(x, y)
+			after := f1.Bilinear(float64(x)+float64(u), float64(y)+float64(v))
+			d := math.Abs(float64(after - f0.At(x, y)))
+			if d > maxd {
+				maxd = d
+			}
+		}
+	}
+	// Bilinear resampling of a smooth texture: small but nonzero error.
+	if maxd > 4 {
+		t.Fatalf("brightness constancy violated: max diff %v grey levels", maxd)
+	}
+}
+
+func TestSceneFrameDeterminism(t *testing.T) {
+	a := Thunderstorm(32, 32, 5).Frame(2)
+	b := Thunderstorm(32, 32, 5).Frame(2)
+	if !a.Equal(b) {
+		t.Fatal("frames not deterministic for equal seeds")
+	}
+}
+
+func TestTruthMatchesDirectDisplace(t *testing.T) {
+	s := ShearScene(32, 32, 1)
+	truth := s.Truth(1.5)
+	u, v := truth.At(10, 20)
+	du, dv := Displace(s.Flow, 10, 20, 1.5)
+	if math.Abs(float64(u)-du) > 1e-5 || math.Abs(float64(v)-dv) > 1e-5 {
+		t.Fatalf("truth (%v,%v) vs displace (%v,%v)", u, v, du, dv)
+	}
+}
+
+func TestStereoPairRecoverableShift(t *testing.T) {
+	// Constant disparity: right is left shifted; checking the convention
+	// left(x,y) ≈ right(x+d, y).
+	s := Hurricane(64, 64, 9)
+	left := s.Frame(0)
+	disp := grid.New(64, 64)
+	disp.Fill(3)
+	right := StereoPair(left, disp)
+	var maxd float64
+	for y := 8; y < 56; y++ {
+		for x := 8; x < 50; x++ {
+			d := math.Abs(float64(left.At(x, y) - right.At(x+3, y)))
+			if d > maxd {
+				maxd = d
+			}
+		}
+	}
+	if maxd > 1e-3 {
+		t.Fatalf("stereo convention broken: max diff %v", maxd)
+	}
+}
+
+func TestHeightFollowsIntensity(t *testing.T) {
+	s := Hurricane(64, 64, 11)
+	f := s.Frame(0)
+	z := s.Height(f)
+	// The brightest pixel should be among the higher cloud tops.
+	_, fmax := f.MinMax()
+	_, zmax := z.MinMax()
+	if zmax <= 0 {
+		t.Fatalf("max height %v, want > 0 (max intensity %v)", zmax, fmax)
+	}
+	if z.W != 64 || z.H != 64 {
+		t.Fatal("height dims mismatch")
+	}
+}
+
+func TestBarbsSpacingAndMargin(t *testing.T) {
+	s := Hurricane(96, 96, 13)
+	img := s.Frame(0)
+	pts := Barbs(img, 16, 10, 8)
+	if len(pts) != 16 {
+		t.Fatalf("got %d barbs, want 16", len(pts))
+	}
+	for i, p := range pts {
+		if p.X < 10 || p.X >= 86 || p.Y < 10 || p.Y >= 86 {
+			t.Fatalf("barb %d at %v violates margin", i, p)
+		}
+		for j := 0; j < i; j++ {
+			dx := p.X - pts[j].X
+			dy := p.Y - pts[j].Y
+			if dx*dx+dy*dy < 64 {
+				t.Fatalf("barbs %d and %d too close: %v %v", i, j, p, pts[j])
+			}
+		}
+	}
+}
+
+func TestMultiLayerTruthSplitsByMask(t *testing.T) {
+	m := NewMultiLayer(48, 48, 21)
+	mask := m.Mask(0)
+	truth := m.Truth(0, 1)
+	i := 0
+	sawUpper, sawLower := false, false
+	for y := 0; y < 48; y++ {
+		for x := 0; x < 48; x++ {
+			u, v := truth.At(x, y)
+			if mask[i] {
+				sawUpper = true
+				if math.Abs(float64(u)-1.8) > 1e-5 || math.Abs(float64(v)-0.2) > 1e-5 {
+					t.Fatalf("upper truth at (%d,%d) = (%v,%v)", x, y, u, v)
+				}
+			} else {
+				sawLower = true
+				if math.Abs(float64(u)+0.8) > 1e-5 || math.Abs(float64(v)+1.0) > 1e-5 {
+					t.Fatalf("lower truth at (%d,%d) = (%v,%v)", x, y, u, v)
+				}
+			}
+			i++
+		}
+	}
+	if !sawUpper || !sawLower {
+		t.Fatalf("degenerate multilayer scene: upper=%v lower=%v", sawUpper, sawLower)
+	}
+}
+
+func TestMultiLayerFrameComposites(t *testing.T) {
+	m := NewMultiLayer(48, 48, 22)
+	f := m.Frame(0)
+	min, max := f.MinMax()
+	if min == max {
+		t.Fatal("multilayer frame is constant")
+	}
+}
+
+// Property: Displace over dt then dt again equals Displace over 2·dt
+// (steady-flow semigroup property, within integrator tolerance).
+func TestPropertyDisplaceSemigroup(t *testing.T) {
+	f := Vortex{CX: 0, CY: 0, RMax: 15, VMax: 1.5}
+	check := func(x0, y0 int8) bool {
+		x := float64(x0)
+		y := float64(y0)
+		dx1, dy1 := Displace(f, x, y, 1)
+		dx2, dy2 := Displace(f, x+dx1, y+dy1, 1)
+		dxx, dyy := Displace(f, x, y, 2)
+		return math.Abs(dx1+dx2-dxx) < 1e-2 && math.Abs(dy1+dy2-dyy) < 1e-2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scene frames stay within the 8-bit intensity range.
+func TestPropertyFrameRange(t *testing.T) {
+	check := func(seed int64) bool {
+		s := Thunderstorm(24, 24, seed%1000)
+		g := s.Frame(1)
+		lo, hi := g.MinMax()
+		return lo >= 0 && hi <= 255
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

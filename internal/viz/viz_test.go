@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+func TestWriteQuiverSVGStructure(t *testing.T) {
+	f := grid.NewVectorField(32, 32)
+	f.U.Fill(2)
+	var buf bytes.Buffer
+	if err := WriteQuiverSVG(&buf, f, QuiverOptions{Step: 8}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Fatal("missing SVG header")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Fatal("missing SVG closer")
+	}
+	if strings.Count(s, "<path") != 16 { // 32/8 = 4 per axis → 16 arrows
+		t.Fatalf("expected 16 arrows, got %d", strings.Count(s, "<path"))
+	}
+}
+
+func TestWriteQuiverSVGSuppressesSmallVectors(t *testing.T) {
+	f := grid.NewVectorField(16, 16) // all zero
+	var buf bytes.Buffer
+	if err := WriteQuiverSVG(&buf, f, QuiverOptions{Step: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<path") {
+		t.Fatal("zero field rendered arrows")
+	}
+}
+
+func TestWriteQuiverSVGWithBackground(t *testing.T) {
+	scene := synth.Hurricane(24, 24, 3)
+	img := scene.Frame(0)
+	f := scene.Truth(1)
+	var buf bytes.Buffer
+	if err := WriteQuiverSVG(&buf, f, QuiverOptions{Step: 6, Background: img}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "<rect") {
+		t.Fatal("background produced no rects")
+	}
+	// Run-length merging keeps it well under one rect per pixel.
+	if n := strings.Count(s, "<rect"); n >= 24*24 {
+		t.Fatalf("background not run-length merged: %d rects", n)
+	}
+}
+
+func TestWriteTrajectorySVG(t *testing.T) {
+	paths := [][2][]float64{
+		{{2, 4, 6}, {2, 3, 4}},
+		{{10, 9}, {10, 12}},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrajectorySVG(&buf, 16, 16, paths, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "<polyline") != 2 || strings.Count(s, "<circle") != 2 {
+		t.Fatalf("wrong element counts in %q", s)
+	}
+}
+
+func TestWriteTrajectorySVGRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	bad := [][2][]float64{{{1, 2}, {1}}}
+	if err := WriteTrajectorySVG(&buf, 8, 8, bad, nil, 4); err == nil {
+		t.Fatal("malformed trajectory accepted")
+	}
+}
