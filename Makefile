@@ -1,0 +1,41 @@
+# Development targets for the sma reproduction. Everything is standard
+# library only; `make check` is the full pre-merge gate CI runs.
+
+GO ?= go
+
+.PHONY: all build test check vet smavet race fuzz-smoke fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the full gate: formatting, go vet, the project-specific smavet
+# static-analysis suite, and the unit tests under the race detector.
+check:
+	./scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+# smavet: the project-specific static analyzers (cmd/smavet). Exits
+# non-zero on any finding; see docs/STATIC_ANALYSIS.md.
+smavet:
+	$(GO) run ./cmd/smavet ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz-smoke: a short -fuzz pass over the binary-format readers, enough
+# to catch regressions in the parsers' bounds handling without tying up
+# CI. Corpus finds are kept under the packages' testdata.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzReadPGM -fuzztime=$(FUZZTIME) ./internal/grid
+	$(GO) test -run=^$$ -fuzz=FuzzReadArea -fuzztime=$(FUZZTIME) ./internal/ingest
+
+fmt:
+	gofmt -w .

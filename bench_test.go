@@ -37,7 +37,7 @@ func BenchmarkTable2Frederic(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := maspar.New(maspar.ScaledConfig(8, 8))
+		m := maspar.MustNew(maspar.ScaledConfig(8, 8))
 		if _, err := core.TrackMasPar(m, pair, p, core.Options{}, maspar.RasterReadout); err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +61,7 @@ func BenchmarkTable4GOES9(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := maspar.New(maspar.ScaledConfig(8, 8))
+		m := maspar.MustNew(maspar.ScaledConfig(8, 8))
 		if _, err := core.TrackMasPar(m, pair, p, core.Options{}, maspar.RasterReadout); err != nil {
 			b.Fatal(err)
 		}
@@ -164,12 +164,19 @@ func BenchmarkWindBarbPipeline(b *testing.B) {
 func BenchmarkReadout(b *testing.B) {
 	for _, scheme := range []maspar.FetchScheme{maspar.SnakeReadout, maspar.RasterReadout} {
 		b.Run(scheme.String(), func(b *testing.B) {
-			m := maspar.New(maspar.ScaledConfig(8, 8))
+			m := maspar.MustNew(maspar.ScaledConfig(8, 8))
 			g := grid.New(32, 32)
 			for i := range g.Data {
 				g.Data[i] = float32(i)
 			}
-			img := maspar.Distribute(m, maspar.NewHierarchical(m, 32, 32), g)
+			mp, err := maspar.NewHierarchical(m, 32, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			img, err := maspar.Distribute(m, mp, g)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if scheme == maspar.SnakeReadout {
@@ -179,8 +186,15 @@ func BenchmarkReadout(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			full := maspar.New(maspar.DefaultConfig())
-			c := maspar.FetchCost(maspar.NewHierarchical(full, 512, 512), 60, scheme)
+			full := maspar.MustNew(maspar.DefaultConfig())
+			fullMap, err := maspar.NewHierarchical(full, 512, 512)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := maspar.FetchCost(fullMap, 60, scheme)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ReportMetric(full.Cfg.Time(c).Seconds(), "mp2-fetch-s")
 		})
 	}
@@ -191,16 +205,27 @@ func BenchmarkReadout(b *testing.B) {
 // template fetch.
 func BenchmarkDataMapping(b *testing.B) {
 	cfg := maspar.DefaultConfig()
-	m := maspar.New(cfg)
+	m := maspar.MustNew(cfg)
+	hier, err := maspar.NewHierarchical(m, 512, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cut, err := maspar.NewCutStack(m, 512, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
 	maps := map[string]maspar.Mapping{
-		"hierarchical": maspar.NewHierarchical(m, 512, 512),
-		"cutstack":     maspar.NewCutStack(m, 512, 512),
+		"hierarchical": hier,
+		"cutstack":     cut,
 	}
 	for name, mp := range maps {
 		b.Run(name, func(b *testing.B) {
 			var c maspar.Cost
 			for i := 0; i < b.N; i++ {
-				c = maspar.FetchCost(mp, 60, maspar.RasterReadout)
+				var err error
+				if c, err = maspar.FetchCost(mp, 60, maspar.RasterReadout); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(cfg.Time(c).Seconds(), "mp2-fetch-s")
 			b.ReportMetric(float64(c.XNetShifts), "xnet-shifts")
@@ -217,7 +242,7 @@ func BenchmarkSegmentation(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := maspar.DefaultConfig()
 				cfg.MemPerPE = kb * 1024
-				m := maspar.New(cfg)
+				m := maspar.MustNew(cfg)
 				st, _, err := core.ModelRun(m, 512, 512, core.FredericParams(), 4, maspar.RasterReadout)
 				if err != nil {
 					b.Fatal(err)
@@ -407,7 +432,7 @@ func BenchmarkTrackSIMD(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := maspar.New(maspar.ScaledConfig(8, 8))
+		m := maspar.MustNew(maspar.ScaledConfig(8, 8))
 		if _, err := core.TrackSIMDContinuous(m, pair, p, maspar.RasterReadout); err != nil {
 			b.Fatal(err)
 		}

@@ -187,7 +187,11 @@ func main() {
 	}
 	if run("ablation") {
 		fmt.Println("Ablation — neighborhood fetch design (§3.2/§4.2), 121×121 template at paper scale")
-		for _, r := range eval.ReadoutAblation(60) {
+		abl, err := eval.ReadoutAblation(60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range abl {
 			fmt.Printf("  %-42s xnet=%-9d mem=%-9d time=%v\n", r.Name, r.XNet, r.Mem, r.Time)
 		}
 		fmt.Println("\nAblation — PE memory vs segmentation (§4.3), Frederic configuration")

@@ -57,7 +57,8 @@ func main() {
 	fmt.Printf("disparity %dx%d: range [%.2f, %.2f] px, mean %.3f px\n",
 		disp.W, disp.H, min, max, disp.Mean())
 	if *gain > 0 {
-		z := stereo.ToHeight(disp, float32(*gain))
+		g := float32(*gain)
+		z := stereo.ToHeight(disp, g)
 		zmin, zmax := z.MinMax()
 		fmt.Printf("heights: range [%.2f, %.2f], mean %.3f\n", zmin, zmax, z.Mean())
 	}

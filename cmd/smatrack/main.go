@@ -102,7 +102,10 @@ func main() {
 		} else if *scheme != "raster" {
 			log.Fatalf("unknown scheme %q", *scheme)
 		}
-		m := maspar.New(maspar.ScaledConfig(*pe, *pe))
+		m, err := maspar.New(maspar.ScaledConfig(*pe, *pe))
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := core.TrackMasPar(m, pair, params, opt, fs)
 		if err != nil {
 			log.Fatal(err)

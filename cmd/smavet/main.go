@@ -1,0 +1,207 @@
+// Command smavet runs the project-specific static-analysis suite over
+// the SMA pipeline sources. It needs only the Go standard library: the
+// module's packages are parsed and type-checked in-process.
+//
+// Usage:
+//
+//	go run ./cmd/smavet ./...
+//	go run ./cmd/smavet -checks panicfree,hotalloc ./internal/core
+//
+// Findings print as file:line: [check] message and make the exit status
+// non-zero. Individual sites are suppressed with a
+// //smavet:allow <check> [-- reason] comment on the same or previous
+// line; see docs/STATIC_ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sma/internal/analysis"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	kernels := flag.String("kernels", "", "extra comma-separated kernel function names for hotalloc")
+	sinks := flag.String("sinks", "", "extra comma-separated approved narrowing sinks for floatnarrow")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: smavet [flags] ./... | dir ...")
+		os.Exit(2)
+	}
+
+	analyzers := analysis.All()
+	if *checks != "" {
+		want := map[string]bool{}
+		for _, c := range strings.Split(*checks, ",") {
+			want[strings.TrimSpace(c)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for unknown := range want {
+			fatalf("unknown check %q (try -list)", unknown)
+		}
+		analyzers = sel
+	}
+
+	cfg := analysis.DefaultConfig()
+	addNames(cfg.KernelFuncs, *kernels)
+	addNames(cfg.NarrowSinks, *sinks)
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	dirs, err := expandPatterns(root, flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	found := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, f := range analysis.Run(cfg, pkg, analyzers) {
+			rel, err := filepath.Rel(root, f.Pos.Filename)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				rel = f.Pos.Filename
+			}
+			fmt.Printf("%s:%d: [%s] %s\n", rel, f.Pos.Line, f.Check, f.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "smavet: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func addNames(dst map[string]bool, csv string) {
+	for _, n := range strings.Split(csv, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			dst[n] = true
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("smavet: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves ./...-style patterns and plain directories to
+// the set of package directories to analyze. Recursive walks skip
+// testdata, vendor and hidden directories — but a pattern rooted inside
+// testdata analyzes it explicitly (this is how the analyzer fixtures are
+// exercised end to end).
+func expandPatterns(root string, args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, arg := range args {
+		base, recursive := arg, false
+		if strings.HasSuffix(arg, "/...") {
+			base, recursive = strings.TrimSuffix(arg, "/..."), true
+		} else if arg == "..." {
+			base, recursive = ".", true
+		}
+		if base == "" {
+			base = "."
+		}
+		abs := base
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(root, base)
+		}
+		if !recursive {
+			if hasGoFiles(abs) {
+				add(abs)
+			} else {
+				return nil, fmt.Errorf("smavet: no Go files in %s", base)
+			}
+			continue
+		}
+		inTestdata := strings.Contains(abs, string(filepath.Separator)+"testdata")
+		err := filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != abs && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || (name == "testdata" && !inTestdata)) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smavet: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -53,7 +53,10 @@ func main() {
 	params := core.ScaledParams()
 	params.NZS = 3
 	pair := core.Pair{I0: i0, I1: i1, Z0: z0, Z1: z1}
-	m := maspar.New(maspar.ScaledConfig(16, 16))
+	m, err := maspar.New(maspar.ScaledConfig(16, 16))
+	if err != nil {
+		log.Fatal(err)
+	}
 	par, err := core.TrackMasPar(m, pair, params, core.Options{}, maspar.RasterReadout)
 	if err != nil {
 		log.Fatal(err)

@@ -48,7 +48,8 @@ func main() {
 	}
 	z0km := heightKm(i0)
 	disp0 := z0km.Clone()
-	disp0.Apply(func(v float32) float32 { return v * float32(dpk) })
+	pxPerKm := float32(dpk)
+	disp0.Apply(func(v float32) float32 { return v * pxPerKm })
 	r0 := synth.StereoPair(i0, disp0)
 
 	// 2. Round-trip through AREA files, as the ingest system would.

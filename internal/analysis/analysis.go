@@ -1,0 +1,163 @@
+// Package analysis is the smavet static-analysis suite: project-specific
+// checks for the SMA pipeline, built on go/ast and go/types only.
+//
+// The checks encode invariants the paper's algorithm and this
+// reproduction's conventions depend on but the compiler cannot enforce:
+// data-parallel goroutines must key shared writes by a per-worker variable
+// (goroutinecapture), float64 accumulation may narrow to float32 only at
+// approved storage sinks (floatnarrow), library packages must return
+// errors rather than panic (panicfree), per-pixel kernels must not
+// allocate (hotalloc), and errors must not be silently discarded or
+// wrapped unwrappably (errdiscard).
+//
+// A finding may be suppressed at the site with a directive comment on the
+// same line or the line directly above:
+//
+//	//smavet:allow <check>[,<check>...] [-- reason]
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String renders the finding in the file:line: [check] message form the
+// smavet driver prints.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Message)
+}
+
+// Analyzer is one smavet check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analyzer and collects findings.
+type Pass struct {
+	Cfg      *Config
+	Pkg      *Package
+	check    string
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.findings = append(p.findings, Finding{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer in the suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		GoroutineCapture,
+		FloatNarrow,
+		PanicFree,
+		HotAlloc,
+		ErrDiscard,
+	}
+}
+
+// Run applies the analyzers to one loaded package and returns the
+// findings that survive //smavet:allow suppression, sorted by position.
+func Run(cfg *Config, pkg *Package, analyzers []*Analyzer) []Finding {
+	allow := collectAllows(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{Cfg: cfg, Pkg: pkg, check: a.Name}
+		a.Run(pass)
+		for _, f := range pass.findings {
+			if allow.ok(f.Pos.Filename, f.Pos.Line, f.Check) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// allowSet records //smavet:allow directives: file → line → check names.
+type allowSet map[string]map[int]map[string]bool
+
+// ok reports whether a finding of check at file:line is suppressed by a
+// directive on the same line or the line directly above.
+func (s allowSet) ok(file string, line int, check string) bool {
+	lines := s[file]
+	if lines == nil {
+		return false
+	}
+	return lines[line][check] || lines[line-1][check]
+}
+
+func collectAllows(pkg *Package) allowSet {
+	s := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "smavet:allow") {
+					continue
+				}
+				text = strings.TrimPrefix(text, "smavet:allow")
+				if reason := strings.Index(text, "--"); reason >= 0 {
+					text = text[:reason]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					s[pos.Filename] = lines
+				}
+				checks := lines[pos.Line]
+				if checks == nil {
+					checks = map[string]bool{}
+					lines[pos.Line] = checks
+				}
+				for _, name := range strings.Split(text, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						checks[name] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// funcDecls walks every function declaration of the package, handing the
+// visitor the declaration (nil for file-scope initializers is never
+// produced; package-level var initializers are visited separately by the
+// analyzers that care).
+func funcDecls(pkg *Package, visit func(*ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				visit(fd)
+			}
+		}
+	}
+}

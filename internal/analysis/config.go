@@ -1,0 +1,60 @@
+package analysis
+
+// Config carries the project-specific knobs of the smavet analyzers.
+// DefaultConfig encodes this repository's conventions; cmd/smavet exposes
+// flags that extend the name sets for out-of-tree use.
+type Config struct {
+	// KernelFuncs names the per-pixel kernel functions that must stay
+	// allocation-free (hotalloc). The SMA inner loop runs one of these per
+	// template pixel per hypothesis — ~10⁹ calls at paper scale — so a
+	// single make/append inside them dominates the host profile.
+	KernelFuncs map[string]bool
+
+	// NarrowSinks names the functions and methods whose arguments are
+	// approved float64→float32 narrowing points (floatnarrow). These are
+	// the storage boundaries where the pipeline deliberately drops to the
+	// MP-2's 32-bit plural floats; narrowing anywhere else risks doing
+	// intermediate arithmetic at reduced precision.
+	NarrowSinks map[string]bool
+
+	// MutatorNames names the methods that mutate a grid or vector field
+	// in place (goroutinecapture). A call to one of these on shared state
+	// from inside a `go func` literal must be indexed by a per-worker
+	// variable or the workers race.
+	MutatorNames map[string]bool
+
+	// GridPkgSuffix identifies the package whose types goroutinecapture
+	// treats as shared pixel state.
+	GridPkgSuffix string
+}
+
+// DefaultConfig returns the smavet configuration for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		KernelFuncs: set(
+			// core tracker inner loop
+			"trackPixel", "trackPixelFrom", "score",
+			"accumulateSMA", "residualSum", "rowResiduals",
+			"solveMotion", "symmetrize", "robustRefine",
+			// surface fit per-pixel path
+			"Fit",
+			// linear algebra per-elimination path
+			"Solve6", "Cholesky6", "AccumulateNormal",
+		),
+		NarrowSinks: set(
+			"Set", "Fill", "SetScalar", "AddScalar", "MulScalar", "Broadcast",
+		),
+		MutatorNames: set(
+			"Set", "Fill", "Apply", "ApplyXY", "AddScaled", "Normalize",
+		),
+		GridPkgSuffix: "internal/grid",
+	}
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}

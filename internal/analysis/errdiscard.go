@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrDiscard flags two ways errors get lost:
+//
+//   - assignments that discard an error into blank identifiers only
+//     (`_ = f()`, `_, _ = g()`) — the error vanishes without a trace;
+//   - fmt.Errorf calls that interpolate an error value without %w —
+//     the cause survives as text but errors.Is/As can no longer see it.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "no silently discarded or unwrappably wrapped errors",
+	Run:  runErrDiscard,
+}
+
+func runErrDiscard(p *Pass) {
+	info := p.Pkg.Info
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankDiscard(p, info, errType, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(p, info, errType, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkBlankDiscard(p *Pass, info *types.Info, errType types.Type, as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return // some result is kept; not a silent discard
+		}
+	}
+	// All-blank assignment: flag if any discarded component is an error.
+	for _, rhs := range as.Rhs {
+		tv, ok := info.Types[rhs]
+		if !ok {
+			continue
+		}
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if types.Identical(t.At(i).Type(), errType) {
+					p.Reportf(as.Pos(), "error discarded into blank identifier; handle it or document why it is safe to drop")
+					return
+				}
+			}
+		default:
+			if types.Identical(tv.Type, errType) {
+				p.Reportf(as.Pos(), "error discarded into blank identifier; handle it or document why it is safe to drop")
+				return
+			}
+		}
+	}
+}
+
+func checkErrorfWrap(p *Pass, info *types.Info, errType types.Type, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return // non-constant format; out of scope
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, a := range call.Args[1:] {
+		tv, ok := info.Types[a]
+		if !ok {
+			continue
+		}
+		if types.Implements(tv.Type, errType.Underlying().(*types.Interface)) && !isBasicKind(tv.Type, types.String) {
+			p.Reportf(call.Pos(), "fmt.Errorf interpolates an error without %%w; the cause becomes unwrappable")
+			return
+		}
+	}
+}

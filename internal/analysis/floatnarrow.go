@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FloatNarrow flags float64→float32 conversions whose result feeds
+// further computation instead of going straight into storage. The
+// reproduction's convention, matching the paper's numerics, is: all
+// accumulation (normal equations, residual sums, surface fits) runs in
+// float64; values drop to the MP-2's 32-bit plural floats only at the
+// storage boundary. A conversion buried inside a larger expression does
+// intermediate arithmetic at reduced precision, which is exactly the
+// class of bug that silently degrades the ε ordering the hypothesis
+// search depends on.
+//
+// Approved contexts for a conversion (the whole converted value is
+// stored, returned or handed to an approved sink):
+//
+//   - the right-hand side of an assignment or var declaration
+//   - a return value
+//   - a composite-literal element
+//   - a direct argument to an approved sink (Config.NarrowSinks,
+//     e.g. grid Set/Fill)
+var FloatNarrow = &Analyzer{
+	Name: "floatnarrow",
+	Doc:  "float64→float32 conversions only at storage sinks",
+	Run:  runFloatNarrow,
+}
+
+func runFloatNarrow(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		// Walk with an explicit parent so each conversion's immediate
+		// context is known. Parentheses are transparent: children of a
+		// ParenExpr see the paren's own parent.
+		var visit func(parent, n ast.Node)
+		visit = func(parent, n ast.Node) {
+			if call, ok := n.(*ast.CallExpr); ok && isNarrowConv(info, call) && !narrowAllowed(p, parent, call) {
+				p.Reportf(call.Pos(), "float64 narrowed to float32 mid-expression; convert at the storage sink instead")
+			}
+			eff := n
+			if _, ok := n.(*ast.ParenExpr); ok {
+				eff = parent
+			}
+			for _, c := range childNodes(n) {
+				visit(eff, c)
+			}
+		}
+		visit(nil, f)
+	}
+}
+
+// isNarrowConv reports whether call is a conversion of a float64 value to
+// a float32 type.
+func isNarrowConv(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	if !isBasicKind(tv.Type, types.Float32) {
+		return false
+	}
+	atv, ok := info.Types[call.Args[0]]
+	return ok && isBasicKind(atv.Type, types.Float64)
+}
+
+func isBasicKind(t types.Type, k types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == k
+}
+
+// narrowAllowed reports whether the conversion sits in an approved
+// context given its immediate parent node.
+func narrowAllowed(p *Pass, parent ast.Node, conv *ast.CallExpr) bool {
+	switch pn := parent.(type) {
+	case *ast.AssignStmt, *ast.ValueSpec, *ast.ReturnStmt,
+		*ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	case *ast.CallExpr:
+		// Direct argument to an approved sink.
+		for _, a := range pn.Args {
+			if a == conv {
+				return isSinkCall(p, pn)
+			}
+		}
+	}
+	return false
+}
+
+func isSinkCall(p *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return p.Cfg.NarrowSinks[fun.Name]
+	case *ast.SelectorExpr:
+		return p.Cfg.NarrowSinks[fun.Sel.Name]
+	}
+	return false
+}
+
+// childNodes returns n's direct AST children in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicFree flags panic, os.Exit and log.Fatal* in internal library
+// packages. The pipeline's entry points return errors all the way up —
+// a panic in internal/... either kills a data-parallel worker goroutine
+// (taking the process with it mid-run) or escapes through API boundaries
+// the callers handle with error values.
+//
+// Functions named Must*/must* are exempt: they are the documented
+// panicking wrappers of error-returning constructors, for call sites
+// whose inputs are correct by construction.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "no panic/os.Exit/log.Fatal in internal library code",
+	Run:  runPanicFree,
+}
+
+func runPanicFree(p *Pass) {
+	if !strings.Contains(p.Pkg.Path+"/", "/internal/") {
+		return
+	}
+	funcDecls(p.Pkg, func(fd *ast.FuncDecl) {
+		name := fd.Name.Name
+		if strings.HasPrefix(name, "Must") || strings.HasPrefix(name, "must") {
+			return
+		}
+		if fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := p.Pkg.Info.Uses[fun].(*types.Builtin); ok && obj.Name() == "panic" {
+					p.Reportf(call.Pos(), "panic in library function %s; return an error or use a Must* wrapper", name)
+				}
+			case *ast.SelectorExpr:
+				obj, ok := p.Pkg.Info.Uses[fun.Sel].(*types.Func)
+				if !ok || obj.Pkg() == nil {
+					return true
+				}
+				switch {
+				case obj.Pkg().Path() == "os" && obj.Name() == "Exit":
+					p.Reportf(call.Pos(), "os.Exit in library function %s; return an error", name)
+				case obj.Pkg().Path() == "log" && strings.HasPrefix(obj.Name(), "Fatal"):
+					p.Reportf(call.Pos(), "log.%s in library function %s; return an error", obj.Name(), name)
+				}
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,41 @@
+// Package errdiscard is a smavet analyzer fixture. Lines marked
+// "want-marked errdiscard" must be flagged; everything else must not.
+package errdiscard
+
+import (
+	"errors"
+	"fmt"
+)
+
+func mayFail() error { return errors.New("x") }
+
+func two() (int, error) { return 0, errors.New("x") }
+
+func badDiscard() {
+	_ = mayFail() // want errdiscard
+}
+
+func badDoubleDiscard() {
+	_, _ = two() // want errdiscard
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("context: %v", err) // want errdiscard
+}
+
+func goodKeepValue() int {
+	v, _ := two()
+	return v
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("context: %w", err)
+}
+
+func goodNonError() {
+	_ = len("x")
+}
+
+func goodNoErrorArgs(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}

@@ -1,0 +1,50 @@
+// Package floatnarrow is a smavet analyzer fixture. Lines marked
+// "want-marked floatnarrow" must be flagged; everything else must not.
+package floatnarrow
+
+type img struct{}
+
+func (img) Set(x, y int, v float32) {}
+
+func consume(f float32) float64 { return float64(f) }
+
+func badMidExpression(v float64) float32 {
+	w := float32(v) * 2 // want floatnarrow
+	return w
+}
+
+func badNonSinkArg(v float64) float64 {
+	return consume(float32(v)) // want floatnarrow
+}
+
+func badParenthesized(v float64) float32 {
+	w := (float32(v)) + 1 // want floatnarrow
+	return w
+}
+
+func goodAssign(v float64) float32 {
+	w := float32(v)
+	return w
+}
+
+func goodReturn(v float64) float32 {
+	return float32(v)
+}
+
+func goodSink(v float64) {
+	var g img
+	g.Set(0, 0, float32(v))
+}
+
+func goodComposite(v float64) []float32 {
+	return []float32{float32(v)}
+}
+
+func goodVar(v float64) float32 {
+	var w float32 = float32(v)
+	return w
+}
+
+func goodIntConversion(n int) float32 {
+	return float32(n) * 2 // int source: not a float64 narrowing
+}

@@ -1,0 +1,107 @@
+// Package goroutinecapture is a smavet analyzer fixture. Lines marked
+// "want-marked goroutinecapture" must be flagged; everything else must not.
+package goroutinecapture
+
+import (
+	"sync"
+
+	"sma/internal/grid"
+)
+
+func badUnkeyedWrite(g *grid.Grid) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Set(0, 0, 1) // want goroutinecapture
+	}()
+	wg.Wait()
+}
+
+func badUnkeyedSlice(out []float64) {
+	done := make(chan struct{})
+	go func() {
+		out[0] = 1 // want goroutinecapture
+		close(done)
+	}()
+	<-done
+}
+
+func badLoopNotKeyed(g *grid.Grid) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// x and y are goroutine-local but derive from nothing the
+		// scheduler handed this worker — every worker would write the
+		// same pixels.
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				g.Set(x, y, 1) // want goroutinecapture
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func goodChannelKeyed(g *grid.Grid, rows chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for y := range rows {
+			for x := 0; x < g.W; x++ {
+				g.Set(x, y, 1)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func goodParamKeyed(g *grid.Grid) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(lo, hi int) {
+		defer wg.Done()
+		for y := lo; y < hi; y++ {
+			g.Set(0, y, 1)
+		}
+	}(0, 4)
+	wg.Wait()
+}
+
+func goodReceiveKeyed(out []float64, work chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := <-work
+		out[i] = 1
+	}()
+	wg.Wait()
+}
+
+func goodDerivedKey(f *grid.VectorField, work chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for pe := range work {
+			x := pe % 8
+			y := pe / 8
+			f.Set(x, y, 1, 2)
+		}
+	}()
+	wg.Wait()
+}
+
+func goodLocalState() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		local := grid.New(4, 4)
+		local.Set(0, 0, 1) // local is goroutine-owned, not captured
+	}()
+	wg.Wait()
+}

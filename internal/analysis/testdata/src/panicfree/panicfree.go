@@ -1,0 +1,64 @@
+// Package panicfree is a smavet analyzer fixture. Lines marked
+// "want-marked panicfree" must be flagged; everything else must not.
+package panicfree
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+)
+
+func Bad(n int) {
+	if n < 0 {
+		panic("negative") // want panicfree
+	}
+}
+
+func BadFatal(err error) {
+	if err != nil {
+		log.Fatal(err) // want panicfree
+	}
+}
+
+func BadFatalf(err error) {
+	if err != nil {
+		log.Fatalf("boom: %v", err) // want panicfree
+	}
+}
+
+func BadExit() {
+	os.Exit(1) // want panicfree
+}
+
+func Good(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+func MustGood(n int) {
+	if err := Good(n); err != nil {
+		panic(err)
+	}
+}
+
+func mustLower(n int) {
+	if n < 0 {
+		panic("lower-case must prefix is exempt too")
+	}
+}
+
+func Allowed(n int) {
+	if n < 0 {
+		//smavet:allow panicfree -- fixture: suppression on previous line
+		panic(fmt.Sprintf("n = %d", n))
+	}
+}
+
+func AllowedSameLine(n int) {
+	if n < 0 {
+		panic("same-line suppression") //smavet:allow panicfree
+	}
+}

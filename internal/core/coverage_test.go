@@ -123,19 +123,19 @@ func TestTrackPixelsEmptyList(t *testing.T) {
 // --- ModelRun standalone -----------------------------------------------------------
 
 func TestModelRunRejectsInvalidParams(t *testing.T) {
-	m := maspar.New(maspar.ScaledConfig(4, 4))
+	m := maspar.MustNew(maspar.ScaledConfig(4, 4))
 	if _, _, err := ModelRun(m, 64, 64, Params{}, 2, maspar.RasterReadout); err == nil {
 		t.Fatal("invalid params accepted")
 	}
 }
 
 func TestModelRunSemiFluidSlowerThanContinuous(t *testing.T) {
-	mc := maspar.New(maspar.DefaultConfig())
+	mc := maspar.MustNew(maspar.DefaultConfig())
 	stC, _, err := ModelRun(mc, 512, 512, Params{NS: 2, NZS: 6, NZT: 60}, 4, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms := maspar.New(maspar.DefaultConfig())
+	ms := maspar.MustNew(maspar.DefaultConfig())
 	stS, _, err := ModelRun(ms, 512, 512, FredericParams(), 4, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)

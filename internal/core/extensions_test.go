@@ -281,7 +281,7 @@ func TestTrackPixelFromOffsetsSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := &tracker{prep: prep, opt: Options{}}
+	tr := newTracker(prep, nil, Options{})
 	hx, hy, _, _ := tr.trackPixelFrom(16, 16, 4, 0)
 	if hx != 4 || hy != 0 {
 		t.Fatalf("prior-guided search found (%d,%d), want (4,0)", hx, hy)

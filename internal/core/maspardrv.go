@@ -46,7 +46,10 @@ func ModelRun(m *maspar.Machine, w, h int, p Params, fitPasses int, scheme maspa
 	if err := p.Validate(); err != nil {
 		return st, maspar.SegmentPlan{}, err
 	}
-	mp := maspar.NewHierarchical(m, w, h)
+	mp, err := maspar.NewHierarchical(m, w, h)
+	if err != nil {
+		return st, maspar.SegmentPlan{}, err
+	}
 	layers := mp.Layers()
 	oc := CountOps(p, fitPasses)
 
@@ -95,8 +98,12 @@ func ModelRun(m *maspar.Machine, w, h int, p Params, fitPasses int, scheme maspa
 
 	// --- Stage 1: surface fitting ---------------------------------------
 	m.ChargeMem(int64(4 * layers)) // distribute the four input images
+	fitFC, err := maspar.FetchCost(mp, p.NS, scheme)
+	if err != nil {
+		return st, plan, err
+	}
 	for pass := 0; pass < fitPasses; pass++ {
-		m.Cost.Add(maspar.FetchCost(mp, p.NS, scheme))
+		m.Cost.Add(fitFC)
 		for l := 0; l < layers; l++ {
 			m.ChargeFlops(oc.SurfaceFlops)
 			m.ChargeGauss6()
@@ -116,11 +123,15 @@ func ModelRun(m *maspar.Machine, w, h int, p Params, fitPasses int, scheme maspa
 	if p.SemiFluid() {
 		perSegment := oc.SemiMapFlops / int64(plan.Segments)
 		fetchR := p.NZS + p.NSS + p.NST
+		segFC, err := maspar.FetchCost(mp, fetchR, scheme)
+		if err != nil {
+			return st, plan, err
+		}
 		for seg := 0; seg < plan.Segments; seg++ {
 			// Each segment re-fetches the discriminant neighborhoods it
 			// needs, computes its hypothesis rows, and is discarded once
 			// its error terms are produced (paper §4.1/§4.3).
-			m.Cost.Add(maspar.FetchCost(mp, fetchR, scheme))
+			m.Cost.Add(segFC)
 			for l := 0; l < layers; l++ {
 				m.ChargeFlops(perSegment)
 			}
@@ -135,8 +146,12 @@ func ModelRun(m *maspar.Machine, w, h int, p Params, fitPasses int, scheme maspa
 	const fetchFields = 6
 	hypPerSegment := oc.HypFlops / int64(plan.Segments)
 	gaussPerSegment := oc.HypGauss / int64(plan.Segments)
+	hypFC, err := maspar.FetchCost(mp, p.NZT, scheme)
+	if err != nil {
+		return st, plan, err
+	}
 	for seg := 0; seg < plan.Segments; seg++ {
-		fc := maspar.FetchCost(mp, p.NZT, scheme)
+		fc := hypFC
 		for i := 0; i < fetchFields; i++ {
 			m.Cost.Add(fc)
 		}
@@ -171,7 +186,10 @@ func TrackMasPar(m *maspar.Machine, pair Pair, p Params, opt Options, scheme mas
 	if err != nil {
 		return nil, err
 	}
-	mp := maspar.NewHierarchical(m, prep.W, prep.H)
+	mp, err := maspar.NewHierarchical(m, prep.W, prep.H)
+	if err != nil {
+		return nil, err
+	}
 	layers := mp.Layers()
 
 	// Functional execution, organized layer by layer exactly as the SIMD
@@ -203,7 +221,7 @@ func TrackMasPar(m *maspar.Machine, pair Pair, p Params, opt Options, scheme mas
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				t := &tracker{prep: prep, sm: sm, opt: opt}
+				t := newTracker(prep, sm, opt)
 				for pe := lo; pe < hi; pe++ {
 					x, y := mp.Invert(pe, l)
 					if x >= prep.W || y >= prep.H {

@@ -18,7 +18,7 @@ func TestMasParMatchesSequentialExactly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := maspar.New(maspar.ScaledConfig(8, 8)) // 32×32 image → 4×4 px/PE
+	m := maspar.MustNew(maspar.ScaledConfig(8, 8)) // 32×32 image → 4×4 px/PE
 	par, err := TrackMasPar(m, pair, p, Options{}, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -36,8 +36,8 @@ func TestMasParEquivalenceUnderSnakeReadout(t *testing.T) {
 	s := synth.Thunderstorm(24, 24, 73)
 	pair := Monocular(s.Frame(0), s.Frame(1))
 	p := contParams()
-	m1 := maspar.New(maspar.ScaledConfig(8, 8))
-	m2 := maspar.New(maspar.ScaledConfig(8, 8))
+	m1 := maspar.MustNew(maspar.ScaledConfig(8, 8))
+	m2 := maspar.MustNew(maspar.ScaledConfig(8, 8))
 	a, err := TrackMasPar(m1, pair, p, Options{}, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -61,7 +61,7 @@ func TestMasParStageBreakdownShape(t *testing.T) {
 	// geometric variables are comparatively negligible.
 	s := synth.Hurricane(32, 32, 79)
 	pair := Monocular(s.Frame(0), s.Frame(1))
-	m := maspar.New(maspar.ScaledConfig(8, 8))
+	m := maspar.MustNew(maspar.ScaledConfig(8, 8))
 	res, err := TrackMasPar(m, pair, testParams(), Options{}, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestMasParStageBreakdownShape(t *testing.T) {
 func TestMasParContinuousSkipsSemiMapStage(t *testing.T) {
 	s := synth.Hurricane(24, 24, 83)
 	pair := Monocular(s.Frame(0), s.Frame(1))
-	m := maspar.New(maspar.ScaledConfig(8, 8))
+	m := maspar.MustNew(maspar.ScaledConfig(8, 8))
 	res, err := TrackMasPar(m, pair, contParams(), Options{}, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestMasParGaussCountMatchesInventory(t *testing.T) {
 	s := synth.Hurricane(16, 16, 89)
 	pair := Monocular(s.Frame(0), s.Frame(1))
 	p := contParams()
-	m := maspar.New(maspar.ScaledConfig(4, 4)) // 16 layers
+	m := maspar.MustNew(maspar.ScaledConfig(4, 4)) // 16 layers
 	res, err := TrackMasPar(m, pair, p, Options{}, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -117,7 +117,7 @@ func TestMasParMemoryInfeasibleConfig(t *testing.T) {
 	// silently overflow.
 	cfg := maspar.ScaledConfig(4, 4)
 	cfg.MemPerPE = 512
-	m := maspar.New(cfg)
+	m := maspar.MustNew(cfg)
 	s := synth.Hurricane(16, 16, 97)
 	pair := Monocular(s.Frame(0), s.Frame(1))
 	if _, err := TrackMasPar(m, pair, testParams(), Options{}, maspar.RasterReadout); err == nil {
@@ -132,7 +132,7 @@ func TestMasParSegmentedRunStillCorrect(t *testing.T) {
 	pair := Monocular(s.Frame(0), s.Frame(1))
 	p := testParams()
 
-	big := maspar.New(maspar.ScaledConfig(8, 8))
+	big := maspar.MustNew(maspar.ScaledConfig(8, 8))
 	a, err := TrackMasPar(big, pair, p, Options{}, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +143,7 @@ func TestMasParSegmentedRunStillCorrect(t *testing.T) {
 
 	cfg := maspar.ScaledConfig(8, 8)
 	cfg.MemPerPE = 1600 // forces Z < full search width
-	small := maspar.New(cfg)
+	small := maspar.MustNew(cfg)
 	b, err := TrackMasPar(small, pair, p, Options{}, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +163,7 @@ func TestMasParSegmentedRunStillCorrect(t *testing.T) {
 func TestMasParKeepMotion(t *testing.T) {
 	s := synth.Hurricane(16, 16, 103)
 	pair := Monocular(s.Frame(0), s.Frame(1))
-	m := maspar.New(maspar.ScaledConfig(4, 4))
+	m := maspar.MustNew(maspar.ScaledConfig(4, 4))
 	res, err := TrackMasPar(m, pair, contParams(), Options{KeepMotion: true}, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -177,8 +177,8 @@ func TestMasParHostWorkersEquivalence(t *testing.T) {
 	s := synth.Hurricane(24, 24, 107)
 	pair := Monocular(s.Frame(0), s.Frame(1))
 	p := testParams()
-	m1 := maspar.New(maspar.ScaledConfig(8, 8))
-	m2 := maspar.New(maspar.ScaledConfig(8, 8))
+	m1 := maspar.MustNew(maspar.ScaledConfig(8, 8))
+	m2 := maspar.MustNew(maspar.ScaledConfig(8, 8))
 	serial, err := TrackMasPar(m1, pair, p, Options{}, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)

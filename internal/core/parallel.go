@@ -42,7 +42,7 @@ func TrackParallel(pair Pair, p Params, opt Options, workers int) (*Result, erro
 		go func() {
 			defer wg.Done()
 			// Each worker owns a tracker (scratch buffers are not shared).
-			t := &tracker{prep: prep, sm: sm, opt: opt}
+			t := newTracker(prep, sm, opt)
 			for y := range rows {
 				for x := 0; x < w; x++ {
 					hx, hy, eps, theta := t.trackPixel(x, y)

@@ -40,14 +40,19 @@ func Prepare(pair Pair, p Params) (*Prepared, error) {
 	if err := pair.Validate(); err != nil {
 		return nil, err
 	}
-	zf := surface.NewFitter(p.NS)
+	zf, err := surface.NewFitter(p.NS)
+	if err != nil {
+		return nil, err
+	}
 	out := &Prepared{P: p, W: pair.I0.W, H: pair.I0.H}
 	out.G0 = zf.FitAll(pair.Z0)
 	out.G1 = zf.FitAll(pair.Z1)
 	if p.SemiFluid() {
 		imf := zf
 		if p.NST != p.NS {
-			imf = surface.NewFitter(p.NST)
+			if imf, err = surface.NewFitter(p.NST); err != nil {
+				return nil, err
+			}
 		}
 		if pair.I0 == pair.Z0 && p.NST == p.NS {
 			out.D0 = out.G0.D

@@ -77,7 +77,7 @@ func trackWithPrior(prep *Prepared, prior *grid.VectorField, opt Options) *Resul
 			res.Motion[i] = grid.New(w, h)
 		}
 	}
-	t := &tracker{prep: prep, sm: nil, opt: opt}
+	t := newTracker(prep, nil, opt)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			bx, by := 0, 0

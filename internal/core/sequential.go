@@ -33,7 +33,7 @@ func TrackPrepared(prep *Prepared, sm *SemiMap, opt Options) *Result {
 			res.Motion[i] = grid.New(w, h)
 		}
 	}
-	t := &tracker{prep: prep, sm: sm, opt: opt}
+	t := newTracker(prep, sm, opt)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			hx, hy, eps, theta := t.trackPixel(x, y)
@@ -53,7 +53,7 @@ func TrackPrepared(prep *Prepared, sm *SemiMap, opt Options) *Result {
 // "only 32 pixels corresponding to the manually tracked wind barbs were
 // compared"), returning a sparse displacement list aligned with pts.
 func TrackPixels(prep *Prepared, sm *SemiMap, opt Options, pts []grid.Point) []la.Vec6 {
-	t := &tracker{prep: prep, sm: sm, opt: opt}
+	t := newTracker(prep, sm, opt)
 	out := make([]la.Vec6, len(pts))
 	for i, pt := range pts {
 		hx, hy, eps, theta := t.trackPixel(pt.X, pt.Y)
@@ -111,7 +111,7 @@ func CountOps(p Params, fitPasses int) OpCounts {
 // (x, y) with the continuous mapping — the microbenchmark kernel behind
 // the paper's Figure 4 (per-correspondence time vs z-template size).
 func ScoreOnce(prep *Prepared, x, y int) float64 {
-	t := &tracker{prep: prep, opt: Options{}}
+	t := newTracker(prep, nil, Options{})
 	eps, _ := t.score(x, y, 0, 0)
 	return eps
 }

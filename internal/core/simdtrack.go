@@ -35,11 +35,20 @@ func TrackSIMDContinuous(m *maspar.Machine, pair Pair, p Params, scheme maspar.F
 		return nil, err
 	}
 	w, h := pair.Z0.W, pair.Z0.H
-	mp := maspar.NewHierarchical(m, w, h)
+	mp, err := maspar.NewHierarchical(m, w, h)
+	if err != nil {
+		return nil, err
+	}
 
 	// Stage 1+2 on the machine: distribute surfaces and fit.
-	z0 := maspar.Distribute(m, mp, pair.Z0)
-	z1 := maspar.Distribute(m, mp, pair.Z1)
+	z0, err := maspar.Distribute(m, mp, pair.Z0)
+	if err != nil {
+		return nil, err
+	}
+	z1, err := maspar.Distribute(m, mp, pair.Z1)
+	if err != nil {
+		return nil, err
+	}
 	g0, err := maspar.SIMDSurfaceFit(m, z0, p.NS, scheme)
 	if err != nil {
 		return nil, err

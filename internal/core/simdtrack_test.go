@@ -15,7 +15,7 @@ func TestTrackSIMDContinuousMatchesSequentialInterior(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := maspar.New(maspar.ScaledConfig(8, 8))
+	m := maspar.MustNew(maspar.ScaledConfig(8, 8))
 	simd, err := TrackSIMDContinuous(m, pair, p, maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +37,7 @@ func TestTrackSIMDContinuousMatchesSequentialInterior(t *testing.T) {
 func TestTrackSIMDContinuousChargesMachine(t *testing.T) {
 	s := synth.Thunderstorm(16, 16, 113)
 	pair := Monocular(s.Frame(0), s.Frame(1))
-	m := maspar.New(maspar.ScaledConfig(4, 4))
+	m := maspar.MustNew(maspar.ScaledConfig(4, 4))
 	if _, err := TrackSIMDContinuous(m, pair, contParams(), maspar.RasterReadout); err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestTrackSIMDContinuousChargesMachine(t *testing.T) {
 func TestTrackSIMDContinuousRejectsSemiFluid(t *testing.T) {
 	s := synth.Thunderstorm(16, 16, 115)
 	pair := Monocular(s.Frame(0), s.Frame(1))
-	m := maspar.New(maspar.ScaledConfig(4, 4))
+	m := maspar.MustNew(maspar.ScaledConfig(4, 4))
 	if _, err := TrackSIMDContinuous(m, pair, testParams(), maspar.RasterReadout); err == nil {
 		t.Fatal("semi-fluid accepted by the SIMD data path")
 	}
@@ -63,8 +63,8 @@ func TestTrackSIMDContinuousRejectsSemiFluid(t *testing.T) {
 func TestTrackSIMDSchemesAgree(t *testing.T) {
 	s := synth.Hurricane(24, 24, 117)
 	pair := Monocular(s.Frame(0), s.Frame(1))
-	m1 := maspar.New(maspar.ScaledConfig(8, 8))
-	m2 := maspar.New(maspar.ScaledConfig(8, 8))
+	m1 := maspar.MustNew(maspar.ScaledConfig(8, 8))
+	m2 := maspar.MustNew(maspar.ScaledConfig(8, 8))
 	a, err := TrackSIMDContinuous(m1, pair, contParams(), maspar.RasterReadout)
 	if err != nil {
 		t.Fatal(err)

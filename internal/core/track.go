@@ -48,10 +48,20 @@ type tracker struct {
 
 	// buf caches per-template-pixel quantities between the accumulation
 	// pass and the ε pass: zx, zy, rhs0..2, w0, w1 (7 values per pixel).
+	// It is sized once at construction so the per-pixel kernel never
+	// allocates.
 	buf []float64
 }
 
 const bufStride = 7
+
+// newTracker builds a tracker with its scratch buffer pre-sized for the
+// template window, keeping score/trackPixel allocation-free.
+func newTracker(prep *Prepared, sm *SemiMap, opt Options) *tracker {
+	p := prep.P
+	n := (2*p.TemplateRX() + 1) * (2*p.TemplateRY() + 1)
+	return &tracker{prep: prep, sm: sm, opt: opt, buf: make([]float64, n*bufStride)}
+}
 
 // score evaluates ε(x, y; x+hx, y+hy) and the fitted motion parameters.
 func (t *tracker) score(x, y, hx, hy int) (eps float64, theta la.Vec6) {
@@ -59,9 +69,6 @@ func (t *tracker) score(x, y, hx, hy int) (eps float64, theta la.Vec6) {
 	rx := p.TemplateRX()
 	ry := p.TemplateRY()
 	n := (2*rx + 1) * (2*ry + 1)
-	if cap(t.buf) < n*bufStride {
-		t.buf = make([]float64, n*bufStride)
-	}
 	buf := t.buf[:n*bufStride]
 
 	g0 := t.prep.G0

@@ -148,7 +148,8 @@ func epsQuantile(eps *grid.Grid, q float64) float32 {
 	for b, c := range hist {
 		acc += c
 		if acc >= target {
-			return min + float32(float64(b)/scale)
+			edge := float32(float64(b) / scale)
+			return min + edge
 		}
 	}
 	return max

@@ -212,7 +212,10 @@ func TestQuiverGlyphs(t *testing.T) {
 }
 
 func TestReadoutAblationOrdering(t *testing.T) {
-	rows := ReadoutAblation(60)
+	rows, err := ReadoutAblation(60)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 5 {
 		t.Fatalf("got %d rows", len(rows))
 	}

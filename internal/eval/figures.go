@@ -118,7 +118,10 @@ func WindBarbExperiment(size int, seed int64) (*BarbResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := maspar.New(maspar.ScaledConfig(8, 8))
+	m, err := maspar.New(maspar.ScaledConfig(8, 8))
+	if err != nil {
+		return nil, err
+	}
 	par, err := core.TrackMasPar(m, pair, p, core.Options{}, maspar.RasterReadout)
 	if err != nil {
 		return nil, err
@@ -253,11 +256,20 @@ type AblationRow struct {
 // scale under the four §3.2/§4.2 design alternatives: {hierarchical,
 // cut-and-stack} × {snake, raster}. The paper's choices — hierarchical
 // folding and raster read-out — must come out cheapest.
-func ReadoutAblation(r int) []AblationRow {
+func ReadoutAblation(r int) ([]AblationRow, error) {
 	cfg := maspar.DefaultConfig()
-	m := maspar.New(cfg)
-	hier := maspar.NewHierarchical(m, 512, 512)
-	cut := maspar.NewCutStack(m, 512, 512)
+	m, err := maspar.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := maspar.NewHierarchical(m, 512, 512)
+	if err != nil {
+		return nil, err
+	}
+	cut, err := maspar.NewCutStack(m, 512, 512)
+	if err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
 	for _, alt := range []struct {
 		name string
@@ -269,7 +281,10 @@ func ReadoutAblation(r int) []AblationRow {
 		{"cut-and-stack + raster", cut, maspar.RasterReadout},
 		{"cut-and-stack + snake", cut, maspar.SnakeReadout},
 	} {
-		c := maspar.FetchCost(alt.mp, r, alt.s)
+		c, err := maspar.FetchCost(alt.mp, r, alt.s)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, AblationRow{
 			Name: alt.name,
 			XNet: c.XNetShifts,
@@ -286,7 +301,7 @@ func ReadoutAblation(r int) []AblationRow {
 		Mem:  rc.MemDirect,
 		Time: cfg.Time(rc),
 	})
-	return rows
+	return rows, nil
 }
 
 // SegmentationRow records the modeled effect of shrinking PE memory on
@@ -308,7 +323,11 @@ func SegmentationAblation(budgets []int) []SegmentationRow {
 	for _, b := range budgets {
 		cfg := maspar.DefaultConfig()
 		cfg.MemPerPE = b
-		m := maspar.New(cfg)
+		m, err := maspar.New(cfg)
+		if err != nil {
+			rows = append(rows, SegmentationRow{MemPerPE: b, Err: err.Error()})
+			continue
+		}
 		st, plan, err := core.ModelRun(m, 512, 512, core.FredericParams(), 4, maspar.RasterReadout)
 		row := SegmentationRow{MemPerPE: b}
 		if err != nil {

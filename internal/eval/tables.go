@@ -102,7 +102,10 @@ func fsec(s float64) time.Duration { return time.Duration(s * float64(time.Secon
 
 func timingTable(name string, p core.Params, passes int, paperRows []TimingRow, seqPaper time.Duration, speedupPaper float64) (*TimingTable, error) {
 	const w, h = 512, 512
-	m := maspar.New(maspar.DefaultConfig())
+	m, err := maspar.New(maspar.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	st, plan, err := core.ModelRun(m, w, h, p, passes, maspar.RasterReadout)
 	if err != nil {
 		return nil, err
@@ -183,7 +186,10 @@ type LuisResult struct {
 // Luis models the 490-frame Hurricane Luis processing run.
 func Luis() (*LuisResult, error) {
 	p := core.LuisParams()
-	m := maspar.New(maspar.DefaultConfig())
+	m, err := maspar.New(maspar.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	st, _, err := core.ModelRun(m, 512, 512, p, 2, maspar.RasterReadout)
 	if err != nil {
 		return nil, err

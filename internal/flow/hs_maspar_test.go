@@ -21,7 +21,7 @@ func TestHornSchunckMasParMatchesHostInterior(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := maspar.New(maspar.ScaledConfig(32, 32))
+	m := maspar.MustNew(maspar.ScaledConfig(32, 32))
 	simd, err := HornSchunckMasPar(m, a, b, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +44,7 @@ func TestHornSchunckMasParMatchesHostInterior(t *testing.T) {
 
 func TestHornSchunckMasParRecoversTranslation(t *testing.T) {
 	a, b := translatePair(32, 32, 71, 0.5, 0.3)
-	m := maspar.New(maspar.ScaledConfig(32, 32))
+	m := maspar.MustNew(maspar.ScaledConfig(32, 32))
 	f, err := HornSchunckMasPar(m, a, b, DefaultHSConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +68,7 @@ func TestHornSchunckMasParRecoversTranslation(t *testing.T) {
 
 func TestHornSchunckMasParChargesCommunication(t *testing.T) {
 	a, b := translatePair(16, 16, 73, 1, 0)
-	m := maspar.New(maspar.ScaledConfig(16, 16))
+	m := maspar.MustNew(maspar.ScaledConfig(16, 16))
 	cfg := DefaultHSConfig()
 	cfg.Iterations = 10
 	if _, err := HornSchunckMasPar(m, a, b, cfg); err != nil {
@@ -86,7 +86,7 @@ func TestHornSchunckMasParChargesCommunication(t *testing.T) {
 }
 
 func TestHornSchunckMasParValidation(t *testing.T) {
-	m := maspar.New(maspar.ScaledConfig(8, 8))
+	m := maspar.MustNew(maspar.ScaledConfig(8, 8))
 	g := grid.New(16, 16) // does not match the 8×8 PE array
 	if _, err := HornSchunckMasPar(m, g, g, DefaultHSConfig()); err == nil {
 		t.Fatal("mismatched image/PE-array size accepted")
@@ -102,7 +102,7 @@ func TestHornSchunckMasParValidation(t *testing.T) {
 func TestHornSchunckMasParZeroMotion(t *testing.T) {
 	s := synth.Hurricane(16, 16, 77)
 	a := s.Frame(0)
-	m := maspar.New(maspar.ScaledConfig(16, 16))
+	m := maspar.MustNew(maspar.ScaledConfig(16, 16))
 	f, err := HornSchunckMasPar(m, a, a.Clone(), DefaultHSConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -24,6 +24,7 @@ type Grid struct {
 // It panics if either dimension is non-positive.
 func New(w, h int) *Grid {
 	if w <= 0 || h <= 0 {
+		//smavet:allow panicfree -- constructor invariant: non-positive dims are a programmer error, like a bad make() size
 		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", w, h))
 	}
 	return &Grid{W: w, H: h, Data: make([]float32, w*h)}
@@ -33,6 +34,7 @@ func New(w, h int) *Grid {
 // The slice is used directly (not copied); len(data) must equal w*h.
 func FromSlice(w, h int, data []float32) *Grid {
 	if len(data) != w*h {
+		//smavet:allow panicfree -- constructor invariant: length mismatch is a programmer error, like a slice bounds fault
 		panic(fmt.Sprintf("grid: FromSlice length %d != %d*%d", len(data), w, h))
 	}
 	return &Grid{W: w, H: h, Data: data}
@@ -84,6 +86,7 @@ func (g *Grid) Set(x, y int, v float32) {
 // Row returns the y-th row as a subslice of the backing store.
 func (g *Grid) Row(y int) []float32 {
 	if y < 0 || y >= g.H {
+		//smavet:allow panicfree -- hot-path bounds assertion, equivalent to the slice index fault it prevents
 		panic(fmt.Sprintf("grid: row %d out of range [0,%d)", y, g.H))
 	}
 	return g.Data[y*g.W : (y+1)*g.W]

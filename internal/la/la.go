@@ -32,6 +32,7 @@ type Matrix struct {
 // NewMatrix returns a zero matrix with the given shape.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows <= 0 || cols <= 0 {
+		//smavet:allow panicfree -- constructor invariant: non-positive shape is a programmer error, like a bad make() size
 		panic(fmt.Sprintf("la: invalid shape %dx%d", rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
@@ -53,6 +54,7 @@ func (m *Matrix) Clone() *Matrix {
 // MulVec returns m·x.
 func (m *Matrix) MulVec(x []float64) []float64 {
 	if len(x) != m.Cols {
+		//smavet:allow panicfree -- shape assertion on a math kernel, equivalent to the index fault it prevents
 		panic(fmt.Sprintf("la: MulVec dim %d != %d", len(x), m.Cols))
 	}
 	out := make([]float64, m.Rows)
@@ -81,6 +83,7 @@ func (m *Matrix) Transpose() *Matrix {
 // Mul returns m·o.
 func (m *Matrix) Mul(o *Matrix) *Matrix {
 	if m.Cols != o.Rows {
+		//smavet:allow panicfree -- shape assertion on a math kernel, equivalent to the index fault it prevents
 		panic(fmt.Sprintf("la: Mul inner dims %d != %d", m.Cols, o.Rows))
 	}
 	out := NewMatrix(m.Rows, o.Cols)

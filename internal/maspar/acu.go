@@ -1,6 +1,9 @@
 package maspar
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // ACU models the Array Control Unit's execution semantics: a single
 // instruction stream broadcast to every PE, with data-dependent control
@@ -50,10 +53,11 @@ func (a *ACU) If(pred *Plural, test func(v float32) bool) {
 }
 
 // Else complements the innermost mask against its parent. No instruction
-// is charged: the ACU just flips the stored activity bits.
-func (a *ACU) Else() {
+// is charged: the ACU just flips the stored activity bits. An error is
+// returned when no plural if block is open.
+func (a *ACU) Else() error {
 	if len(a.stack) < 2 {
-		panic("maspar: Else without If")
+		return errors.New("maspar: Else without If")
 	}
 	parent := a.stack[len(a.stack)-2]
 	cur := a.stack[len(a.stack)-1]
@@ -62,14 +66,17 @@ func (a *ACU) Else() {
 		next[pe] = parent[pe] && !cur[pe]
 	}
 	a.stack[len(a.stack)-1] = next
+	return nil
 }
 
-// EndIf pops the innermost activity mask.
-func (a *ACU) EndIf() {
+// EndIf pops the innermost activity mask. An error is returned when no
+// plural if block is open.
+func (a *ACU) EndIf() error {
 	if len(a.stack) < 2 {
-		panic("maspar: EndIf without If")
+		return errors.New("maspar: EndIf without If")
 	}
 	a.stack = a.stack[:len(a.stack)-1]
+	return nil
 }
 
 // binaryOp applies f where active; one plural flop instruction regardless

@@ -96,15 +96,15 @@ func TestACUStencil4Laplacian(t *testing.T) {
 	}
 }
 
-func TestACUPanicsOnUnmatchedElse(t *testing.T) {
+func TestACURejectsUnmatchedElse(t *testing.T) {
 	m := testMachine(2, 2)
 	a := NewACU(m)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Else without If did not panic")
-		}
-	}()
-	a.Else()
+	if err := a.Else(); err == nil {
+		t.Fatal("Else without If accepted")
+	}
+	if err := a.EndIf(); err == nil {
+		t.Fatal("EndIf without If accepted")
+	}
 }
 
 func TestMPDATransferTime(t *testing.T) {

@@ -113,12 +113,24 @@ type Machine struct {
 	used  int
 }
 
-// New returns a Machine for the given configuration.
-func New(cfg Config) *Machine {
+// New returns a Machine for the given configuration. An error is returned
+// when the PE array dimensions are not positive.
+func New(cfg Config) (*Machine, error) {
 	if cfg.NYProc <= 0 || cfg.NXProc <= 0 {
-		panic(fmt.Sprintf("maspar: invalid PE array %dx%d", cfg.NYProc, cfg.NXProc))
+		return nil, fmt.Errorf("maspar: invalid PE array %dx%d", cfg.NYProc, cfg.NXProc)
 	}
-	return &Machine{Cfg: cfg, alloc: make(map[string]int)}
+	return &Machine{Cfg: cfg, alloc: make(map[string]int)}, nil
+}
+
+// MustNew is the panicking variant of New for configurations known to be
+// valid at the call site (DefaultConfig, ScaledConfig with literal
+// dimensions) — tests, examples and benchmark setup.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }
 
 // Alloc reserves bytesPerPE of PE memory under a name, returning an error

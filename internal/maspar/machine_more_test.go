@@ -5,24 +5,24 @@ import (
 	"time"
 )
 
-func TestDistributePanicsOnSizeMismatch(t *testing.T) {
+func TestDistributeRejectsSizeMismatch(t *testing.T) {
 	m := testMachine(4, 4)
-	mp := NewHierarchical(m, 16, 16)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("mismatched Distribute did not panic")
-		}
-	}()
-	Distribute(m, mp, randGrid(8, 8, 1))
+	mp := mustHier(m, 16, 16)
+	if _, err := Distribute(m, mp, randGrid(8, 8, 1)); err == nil {
+		t.Fatal("mismatched Distribute accepted")
+	}
 }
 
-func TestNewPanicsOnBadPEArray(t *testing.T) {
+func TestNewRejectsBadPEArray(t *testing.T) {
+	if _, err := New(Config{NYProc: 0, NXProc: 4}); err == nil {
+		t.Fatal("New with zero PEs accepted")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("New with zero PEs did not panic")
+			t.Fatal("MustNew with zero PEs did not panic")
 		}
 	}()
-	New(Config{NYProc: 0, NXProc: 4})
+	MustNew(Config{NYProc: 0, NXProc: 4})
 }
 
 func TestHierarchicalNonDividingDims(t *testing.T) {
@@ -30,11 +30,11 @@ func TestHierarchicalNonDividingDims(t *testing.T) {
 	// the round trip.
 	m := testMachine(4, 4)
 	g := randGrid(18, 10, 7)
-	mp := NewHierarchical(m, 18, 10)
+	mp := mustHier(m, 18, 10)
 	if mp.XVR != 5 || mp.YVR != 3 {
 		t.Fatalf("xvr=%d yvr=%d, want 5, 3", mp.XVR, mp.YVR)
 	}
-	img := Distribute(m, mp, g)
+	img := mustDistribute(m, mp, g)
 	if !img.Collect().Equal(g) {
 		t.Fatal("non-dividing dims round trip failed")
 	}
@@ -43,8 +43,8 @@ func TestHierarchicalNonDividingDims(t *testing.T) {
 func TestCutStackNonDividingDims(t *testing.T) {
 	m := testMachine(4, 4)
 	g := randGrid(10, 6, 9)
-	mp := NewCutStack(m, 10, 6)
-	img := Distribute(m, mp, g)
+	mp := mustCut(m, 10, 6)
+	img := mustDistribute(m, mp, g)
 	if !img.Collect().Equal(g) {
 		t.Fatal("cut-stack non-dividing round trip failed")
 	}
@@ -111,8 +111,8 @@ func TestMemIndirectCharging(t *testing.T) {
 }
 
 func TestSnakeFetchCostMonotoneInRadius(t *testing.T) {
-	m := New(DefaultConfig())
-	mp := NewHierarchical(m, 512, 512)
+	m := MustNew(DefaultConfig())
+	mp := mustHier(m, 512, 512)
 	prev := Cost{}
 	for r := 1; r <= 16; r *= 2 {
 		c := SnakeFetchCost(mp, r)
@@ -124,8 +124,8 @@ func TestSnakeFetchCostMonotoneInRadius(t *testing.T) {
 }
 
 func TestRouterFetchCostScalesWithWindow(t *testing.T) {
-	m := New(DefaultConfig())
-	mp := NewHierarchical(m, 512, 512)
+	m := MustNew(DefaultConfig())
+	mp := mustHier(m, 512, 512)
 	c1 := RouterFetchCost(mp, 1)
 	c2 := RouterFetchCost(mp, 2)
 	if c2.RouterSends != c1.RouterSends*25/9 {
@@ -186,14 +186,14 @@ func TestBreakdownSharesSumToOne(t *testing.T) {
 func TestBreakdownComputeBoundFrederic(t *testing.T) {
 	// The paper's Frederic run is overwhelmingly compute-bound: flops
 	// must dominate the modeled breakdown.
-	m := New(DefaultConfig())
-	mp := NewHierarchical(m, 512, 512)
+	m := MustNew(DefaultConfig())
+	mp := mustHier(m, 512, 512)
 	_ = mp
 	// The per-layer hypothesis-matching ledger: the full flop volume
 	// against the six field fetches ModelRun charges.
 	m.ChargeFlops(169 * 14641 * 180)
 	for i := 0; i < 6; i++ {
-		m.Cost.Add(FetchCost(NewHierarchical(m, 512, 512), 60, RasterReadout))
+		m.Cost.Add(mustFetchCost(mustHier(m, 512, 512), 60, RasterReadout))
 	}
 	b := m.Cfg.Breakdown(m.Cost)
 	if b["flops"] < 0.9 {

@@ -24,6 +24,14 @@ type Mapping interface {
 	PESpanY(r int) int
 	// Dims returns the image dimensions (N columns, M rows).
 	Dims() (w, h int)
+	// ShiftCost returns the per-instruction cost of shifting the
+	// distributed image by one pixel in direction d: X-net transfers for
+	// the pixels that cross PE boundaries and memory moves for the
+	// intra-PE shuffle.
+	ShiftCost(d Direction) (xnet, mem int64)
+	// RasterCost returns the communication cost of one raster-scan
+	// neighborhood fetch of radius r under this mapping.
+	RasterCost(r int) Cost
 }
 
 // Hierarchical is the 2-D hierarchical data mapping of the paper (Fig. 2
@@ -37,17 +45,18 @@ type Hierarchical struct {
 
 // NewHierarchical builds the hierarchical mapping for an image of w×h
 // pixels on the machine's PE array (paper eq. 12: yvr = ⌈M/nyproc⌉,
-// xvr = ⌈N/nxproc⌉).
-func NewHierarchical(m *Machine, w, h int) *Hierarchical {
+// xvr = ⌈N/nxproc⌉). An error is returned for non-positive image
+// dimensions.
+func NewHierarchical(m *Machine, w, h int) (*Hierarchical, error) {
 	if w <= 0 || h <= 0 {
-		panic(fmt.Sprintf("maspar: invalid image %dx%d", w, h))
+		return nil, fmt.Errorf("maspar: invalid image %dx%d", w, h)
 	}
 	return &Hierarchical{
 		W: w, H: h,
 		NXProc: m.Cfg.NXProc, NYProc: m.Cfg.NYProc,
 		XVR: (w + m.Cfg.NXProc - 1) / m.Cfg.NXProc,
 		YVR: (h + m.Cfg.NYProc - 1) / m.Cfg.NYProc,
-	}
+	}, nil
 }
 
 // Place implements eq. (12): iyproc = y div yvr, ixproc = x div xvr,
@@ -82,6 +91,42 @@ func (h *Hierarchical) PESpanY(r int) int { return (r + h.YVR - 1) / h.YVR }
 // Dims implements Mapping.
 func (h *Hierarchical) Dims() (w, hh int) { return h.W, h.H }
 
+// ShiftCost implements Mapping: every resident pixel moves one memory
+// slot; the boundary column (yvr pixels) and/or row (xvr pixels) cross via
+// X-net.
+func (h *Hierarchical) ShiftCost(d Direction) (xnet, mem int64) {
+	dx, dy := d.Delta()
+	mem = int64(h.Layers())
+	if dx != 0 {
+		xnet += int64(h.YVR)
+	}
+	if dy != 0 {
+		xnet += int64(h.XVR)
+	}
+	return xnet, mem
+}
+
+// RasterCost implements Mapping: for every source memory layer, the
+// (generally non-square) PE bounding box is traversed in raster order —
+// one X-net shift instruction per box position — and each PE stores the
+// values its resident target pixels need.
+func (h *Hierarchical) RasterCost(r int) Cost {
+	var c Cost
+	side := int64(2*r + 1)
+	// Per source layer (sx, sy): PE box extents depend on the intra-PE
+	// position of the source pixel.
+	for sy := 0; sy < h.YVR; sy++ {
+		bh := boxExtent(sy, r, h.YVR)
+		for sx := 0; sx < h.XVR; sx++ {
+			bw := boxExtent(sx, r, h.XVR)
+			c.XNetShifts += bw * bh
+		}
+	}
+	// One store per needed value per resident target pixel.
+	c.MemDirect += int64(h.Layers()) * side * side
+	return c
+}
+
 // CutStack is the cut-and-stack data mapping the paper rejects: pixel
 // (x, y) goes to PE (x mod nxproc, y mod nyproc), so the image is cut into
 // nxproc×nyproc-sized tiles stacked in PE memory. A ±r pixel neighborhood
@@ -94,17 +139,18 @@ type CutStack struct {
 	TilesY         int
 }
 
-// NewCutStack builds the cut-and-stack mapping.
-func NewCutStack(m *Machine, w, h int) *CutStack {
+// NewCutStack builds the cut-and-stack mapping. An error is returned for
+// non-positive image dimensions.
+func NewCutStack(m *Machine, w, h int) (*CutStack, error) {
 	if w <= 0 || h <= 0 {
-		panic(fmt.Sprintf("maspar: invalid image %dx%d", w, h))
+		return nil, fmt.Errorf("maspar: invalid image %dx%d", w, h)
 	}
 	return &CutStack{
 		W: w, H: h,
 		NXProc: m.Cfg.NXProc, NYProc: m.Cfg.NYProc,
 		TilesX: (w + m.Cfg.NXProc - 1) / m.Cfg.NXProc,
 		TilesY: (h + m.Cfg.NYProc - 1) / m.Cfg.NYProc,
-	}
+	}, nil
 }
 
 // Place implements Mapping.
@@ -144,6 +190,26 @@ func (c *CutStack) PESpanY(r int) int {
 // Dims implements Mapping.
 func (c *CutStack) Dims() (w, h int) { return c.W, c.H }
 
+// ShiftCost implements Mapping: under cut-and-stack every pixel step is a
+// PE step, so all resident pixels cross a PE boundary on every shift.
+func (c *CutStack) ShiftCost(d Direction) (xnet, mem int64) {
+	mem = int64(c.Layers())
+	xnet = int64(c.Layers())
+	return xnet, mem
+}
+
+// RasterCost implements Mapping: every source layer's box spans the full
+// pixel radius in PEs.
+func (c *CutStack) RasterCost(r int) Cost {
+	var cost Cost
+	side := int64(2*r + 1)
+	bw := int64(2*c.PESpanX(r) + 1)
+	bh := int64(2*c.PESpanY(r) + 1)
+	cost.XNetShifts += int64(c.Layers()) * bw * bh
+	cost.MemDirect += int64(c.Layers()) * side * side
+	return cost
+}
+
 // Image is an image distributed over PE memory under a Mapping: layer ℓ of
 // Data holds, for every PE, the pixel stored at memory layer ℓ. Slots
 // beyond the image border (when dimensions do not divide evenly) hold 0.
@@ -156,10 +222,12 @@ type Image struct {
 // Distribute loads g onto the machine under the mapping, charging one
 // direct plural memory store per layer (the parallel disk array feeds all
 // PEs concurrently; per-instruction cost is what SIMD time depends on).
-func Distribute(m *Machine, mp Mapping, g *grid.Grid) *Image {
+// An error is returned when the image does not match the mapping's
+// dimensions.
+func Distribute(m *Machine, mp Mapping, g *grid.Grid) (*Image, error) {
 	w, h := mp.Dims()
 	if g.W != w || g.H != h {
-		panic(fmt.Sprintf("maspar: image %dx%d does not match mapping %dx%d", g.W, g.H, w, h))
+		return nil, fmt.Errorf("maspar: image %dx%d does not match mapping %dx%d", g.W, g.H, w, h)
 	}
 	img := &Image{M: m, Map: mp, Data: make([][]float32, mp.Layers())}
 	nproc := m.Cfg.NProc()
@@ -173,7 +241,7 @@ func Distribute(m *Machine, mp Mapping, g *grid.Grid) *Image {
 		}
 	}
 	m.ChargeMem(int64(mp.Layers()))
-	return img
+	return img, nil
 }
 
 // Collect gathers the distributed image back into a grid.

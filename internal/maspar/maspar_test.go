@@ -9,7 +9,7 @@ import (
 	"sma/internal/grid"
 )
 
-func testMachine(ny, nx int) *Machine { return New(ScaledConfig(ny, nx)) }
+func testMachine(ny, nx int) *Machine { return MustNew(ScaledConfig(ny, nx)) }
 
 func randGrid(w, h int, seed int64) *grid.Grid {
 	rng := rand.New(rand.NewSource(seed))
@@ -118,8 +118,8 @@ func TestAllocReplaceSameName(t *testing.T) {
 
 func TestHierarchicalPaperExample(t *testing.T) {
 	// 512×512 image on 128×128 PEs -> 16 pixels per PE (paper §3.2).
-	m := New(DefaultConfig())
-	h := NewHierarchical(m, 512, 512)
+	m := MustNew(DefaultConfig())
+	h := mustHier(m, 512, 512)
 	if h.XVR != 4 || h.YVR != 4 || h.Layers() != 16 {
 		t.Fatalf("xvr=%d yvr=%d layers=%d, want 4,4,16", h.XVR, h.YVR, h.Layers())
 	}
@@ -127,7 +127,7 @@ func TestHierarchicalPaperExample(t *testing.T) {
 
 func TestHierarchicalRoundTrip(t *testing.T) {
 	m := testMachine(4, 8)
-	h := NewHierarchical(m, 32, 16)
+	h := mustHier(m, 32, 16)
 	seen := make(map[[2]int]bool)
 	for y := 0; y < 16; y++ {
 		for x := 0; x < 32; x++ {
@@ -150,7 +150,7 @@ func TestHierarchicalRoundTrip(t *testing.T) {
 func TestHierarchicalNeighborsStayClose(t *testing.T) {
 	// The defining property: pixel neighbors are on the same or adjacent PEs.
 	m := testMachine(8, 8)
-	h := NewHierarchical(m, 32, 32) // xvr = yvr = 4
+	h := mustHier(m, 32, 32) // xvr = yvr = 4
 	for y := 0; y < 31; y++ {
 		for x := 0; x < 31; x++ {
 			pe1, _ := h.Place(x, y)
@@ -165,8 +165,8 @@ func TestHierarchicalNeighborsStayClose(t *testing.T) {
 }
 
 func TestHierarchicalPESpan(t *testing.T) {
-	m := New(DefaultConfig())
-	h := NewHierarchical(m, 512, 512) // xvr = 4
+	m := MustNew(DefaultConfig())
+	h := mustHier(m, 512, 512) // xvr = 4
 	cases := []struct{ r, want int }{{1, 1}, {4, 1}, {5, 2}, {60, 15}}
 	for _, c := range cases {
 		if got := h.PESpanX(c.r); got != c.want {
@@ -177,7 +177,7 @@ func TestHierarchicalPESpan(t *testing.T) {
 
 func TestCutStackRoundTripAndSpan(t *testing.T) {
 	m := testMachine(4, 4)
-	c := NewCutStack(m, 16, 16)
+	c := mustCut(m, 16, 16)
 	for y := 0; y < 16; y++ {
 		for x := 0; x < 16; x++ {
 			pe, mem := c.Place(x, y)
@@ -195,8 +195,8 @@ func TestCutStackRoundTripAndSpan(t *testing.T) {
 func TestDistributeCollectRoundTrip(t *testing.T) {
 	m := testMachine(4, 4)
 	g := randGrid(16, 16, 1)
-	for _, mp := range []Mapping{NewHierarchical(m, 16, 16), NewCutStack(m, 16, 16)} {
-		img := Distribute(m, mp, g)
+	for _, mp := range []Mapping{mustHier(m, 16, 16), mustCut(m, 16, 16)} {
+		img := mustDistribute(m, mp, g)
 		back := img.Collect()
 		if !g.Equal(back) {
 			t.Fatalf("%T round trip failed", mp)
@@ -210,7 +210,7 @@ func TestPropertyHierarchicalBijection(t *testing.T) {
 		w := int(wRaw%32) + 4
 		h := int(hRaw%32) + 4
 		m := testMachine(4, 4)
-		hm := NewHierarchical(m, w, h)
+		hm := mustHier(m, w, h)
 		seen := make(map[int]bool)
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
@@ -381,7 +381,7 @@ func TestBroadcast(t *testing.T) {
 func TestShiftPixelMovesImage(t *testing.T) {
 	m := testMachine(4, 4)
 	g := randGrid(16, 16, 3)
-	img := Distribute(m, NewHierarchical(m, 16, 16), g)
+	img := mustDistribute(m, mustHier(m, 16, 16), g)
 	sh := img.ShiftPixel(East) // out(x,y) = in(x+1,y)
 	for y := 0; y < 16; y++ {
 		for x := 0; x < 16; x++ {
@@ -397,8 +397,8 @@ func TestShiftPixelCostHierarchicalVsCutStack(t *testing.T) {
 	mH := testMachine(4, 4)
 	mC := testMachine(4, 4)
 	g := randGrid(16, 16, 4)
-	imgH := Distribute(mH, NewHierarchical(mH, 16, 16), g)
-	imgC := Distribute(mC, NewCutStack(mC, 16, 16), g)
+	imgH := mustDistribute(mH, mustHier(mH, 16, 16), g)
+	imgC := mustDistribute(mC, mustCut(mC, 16, 16), g)
 	mH.ResetCost()
 	mC.ResetCost()
 	imgH.ShiftPixel(East)
@@ -444,7 +444,7 @@ func TestSnakePathCoversBoxExactlyOnce(t *testing.T) {
 func TestGatherSnakeMatchesDirectGather(t *testing.T) {
 	m := testMachine(4, 4)
 	g := randGrid(16, 16, 5)
-	img := Distribute(m, NewHierarchical(m, 16, 16), g)
+	img := mustDistribute(m, mustHier(m, 16, 16), g)
 	r := 2
 	nb := GatherSnake(img, r)
 	for y := 0; y < 16; y++ {
@@ -466,8 +466,8 @@ func TestGatherRasterMatchesSnake(t *testing.T) {
 	m2 := testMachine(4, 4)
 	g := randGrid(16, 16, 6)
 	r := 2
-	snake := GatherSnake(Distribute(m1, NewHierarchical(m1, 16, 16), g), r)
-	raster := GatherRaster(Distribute(m2, NewHierarchical(m2, 16, 16), g), r)
+	snake := GatherSnake(mustDistribute(m1, mustHier(m1, 16, 16), g), r)
+	raster := GatherRaster(mustDistribute(m2, mustHier(m2, 16, 16), g), r)
 	for i := range snake.Vals {
 		for k := range snake.Vals[i] {
 			if snake.Vals[i][k] != raster.Vals[i][k] {
@@ -480,8 +480,8 @@ func TestGatherRasterMatchesSnake(t *testing.T) {
 func TestSnakeFetchCostMatchesActualCharges(t *testing.T) {
 	m := testMachine(4, 4)
 	g := randGrid(16, 16, 7)
-	mp := NewHierarchical(m, 16, 16)
-	img := Distribute(m, mp, g)
+	mp := mustHier(m, 16, 16)
+	img := mustDistribute(m, mp, g)
 	for _, r := range []int{1, 2, 3} {
 		m.ResetCost()
 		GatherSnake(img, r)
@@ -498,8 +498,8 @@ func TestRasterFasterThanSnakeAtPaperScale(t *testing.T) {
 	// the snake read-out. Check with Frederic-scale parameters (121×121
 	// template on a 512×512 image, 128×128 PEs).
 	cfg := DefaultConfig()
-	m := New(cfg)
-	mp := NewHierarchical(m, 512, 512)
+	m := MustNew(cfg)
+	mp := mustHier(m, 512, 512)
 	r := 60
 	snake := cfg.Time(SnakeFetchCost(mp, r))
 	raster := cfg.Time(RasterFetchCost(mp, r))
@@ -512,12 +512,12 @@ func TestHierarchicalFetchCheaperThanCutStack(t *testing.T) {
 	// The §3.2 design choice: 2-D hierarchical folding minimizes mesh
 	// transfers versus cut-and-stack.
 	cfg := DefaultConfig()
-	m := New(cfg)
-	h := NewHierarchical(m, 512, 512)
-	c := NewCutStack(m, 512, 512)
+	m := MustNew(cfg)
+	h := mustHier(m, 512, 512)
+	c := mustCut(m, 512, 512)
 	for _, scheme := range []FetchScheme{SnakeReadout, RasterReadout} {
-		th := FetchCost(h, 12, scheme).XNetShifts
-		tc := FetchCost(c, 12, scheme).XNetShifts
+		th := mustFetchCost(h, 12, scheme).XNetShifts
+		tc := mustFetchCost(c, 12, scheme).XNetShifts
 		if th >= tc {
 			t.Fatalf("%v: hierarchical xnet %d not below cut-stack %d", scheme, th, tc)
 		}
@@ -568,7 +568,7 @@ func TestPlanSegmentsPaperInfeasibleExample(t *testing.T) {
 	// template mapping for a 23×23 search area with 16 pixel elements per
 	// PE would require 67.7 KB per PE" — infeasible without segmentation,
 	// feasible with it.
-	m := New(DefaultConfig())
+	m := MustNew(DefaultConfig())
 	p := SegmentParams{NZS: 11, NZT: 60, NS: 2, Layers: 16, FloatSize: 4}
 	whole := p.MappingBytesPerRow() * (2*p.NZS + 1)
 	if whole < 64*1024 {
@@ -589,7 +589,7 @@ func TestPlanSegmentsPaperInfeasibleExample(t *testing.T) {
 func TestPlanSegmentsFrederic(t *testing.T) {
 	// Frederic run (Table 2 note): "the template mapping data was not
 	// segmented during this run, i.e. Z = 2·Nzs + 1" — a 13×13 search fits.
-	m := New(DefaultConfig())
+	m := MustNew(DefaultConfig())
 	p := SegmentParams{NZS: 6, NZT: 60, NS: 2, Layers: 16, FloatSize: 4}
 	plan, err := PlanSegments(m, p)
 	if err != nil {
@@ -603,7 +603,7 @@ func TestPlanSegmentsFrederic(t *testing.T) {
 func TestPlanSegmentsErrorWhenNothingFits(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MemPerPE = 1024
-	m := New(cfg)
+	m := MustNew(cfg)
 	p := SegmentParams{NZS: 11, NZT: 60, NS: 2, Layers: 16, FloatSize: 4}
 	if _, err := PlanSegments(m, p); err == nil {
 		t.Fatal("impossible plan accepted")
@@ -611,7 +611,7 @@ func TestPlanSegmentsErrorWhenNothingFits(t *testing.T) {
 }
 
 func TestPlanSegmentsRespectsExistingAllocations(t *testing.T) {
-	m := New(DefaultConfig())
+	m := MustNew(DefaultConfig())
 	p := SegmentParams{NZS: 6, NZT: 60, NS: 2, Layers: 16, FloatSize: 4}
 	base, err := PlanSegments(m, p)
 	if err != nil {
@@ -634,4 +634,38 @@ func abs(v int) int {
 		return -v
 	}
 	return v
+}
+
+// mustHier, mustCut, mustDistribute and mustFetchCost unwrap the library's
+// error returns for test fixtures whose inputs are valid by construction.
+func mustHier(m *Machine, w, h int) *Hierarchical {
+	mp, err := NewHierarchical(m, w, h)
+	if err != nil {
+		panic(err)
+	}
+	return mp
+}
+
+func mustCut(m *Machine, w, h int) *CutStack {
+	mp, err := NewCutStack(m, w, h)
+	if err != nil {
+		panic(err)
+	}
+	return mp
+}
+
+func mustDistribute(m *Machine, mp Mapping, g *grid.Grid) *Image {
+	img, err := Distribute(m, mp, g)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+func mustFetchCost(mp Mapping, r int, s FetchScheme) Cost {
+	c, err := FetchCost(mp, r, s)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }

@@ -173,15 +173,13 @@ func (p *MPL) exec(f []string) error {
 		iv := float32(imm)
 		p.acu.If(r, func(v float32) bool { return cmp(v, iv) })
 	case "else":
-		if p.acu.Depth() < 2 {
+		if err := p.acu.Else(); err != nil {
 			return fmt.Errorf("else without if")
 		}
-		p.acu.Else()
 	case "endif":
-		if p.acu.Depth() < 2 {
+		if err := p.acu.EndIf(); err != nil {
 			return fmt.Errorf("endif without if")
 		}
-		p.acu.EndIf()
 	}
 	return nil
 }

@@ -30,34 +30,6 @@ func (s FetchScheme) String() string {
 	return fmt.Sprintf("FetchScheme(%d)", int(s))
 }
 
-// shiftCost returns the per-instruction cost of shifting a distributed
-// image by one pixel in direction d under the mapping: X-net transfers for
-// the pixels that cross PE boundaries and memory moves for the intra-PE
-// shuffle.
-func shiftCost(mp Mapping, d Direction) (xnet, mem int64) {
-	dx, dy := d.Delta()
-	switch m := mp.(type) {
-	case *Hierarchical:
-		// Every resident pixel moves one memory slot; the boundary
-		// column (yvr pixels) and/or row (xvr pixels) cross via X-net.
-		mem = int64(m.Layers())
-		if dx != 0 {
-			xnet += int64(m.YVR)
-		}
-		if dy != 0 {
-			xnet += int64(m.XVR)
-		}
-	case *CutStack:
-		// Under cut-and-stack every pixel step is a PE step: all resident
-		// pixels cross a PE boundary on every shift.
-		mem = int64(m.Layers())
-		xnet = int64(m.Layers())
-	default:
-		panic(fmt.Sprintf("maspar: unknown mapping %T", mp))
-	}
-	return xnet, mem
-}
-
 // snakePath returns the shift sequence that walks the data image through
 // all (2r+1)² neighborhood offsets: first to the (−r, −r) corner, then
 // serpentine rows (Fig. 3). Offsets are visited so that after the k-th
@@ -117,7 +89,7 @@ func (img *Image) ShiftPixel(d Direction) *Image {
 			out.Data[dmem][dpe] = img.Data[smem][spe]
 		}
 	}
-	xnet, mem := shiftCost(img.Map, d)
+	xnet, mem := img.Map.ShiftCost(d)
 	img.M.ChargeXNet(xnet)
 	img.M.ChargeMem(mem)
 	return out
@@ -205,37 +177,10 @@ func GatherRaster(img *Image, r int) *Neighborhoods {
 }
 
 // RasterFetchCost returns the communication cost of one raster-scan
-// neighborhood fetch of radius r: for every source memory layer, the
-// (generally non-square) PE bounding box is traversed in raster order —
-// one X-net shift instruction per box position — and each PE stores the
-// values its resident target pixels need.
+// neighborhood fetch of radius r under the mapping — a thin wrapper over
+// Mapping.RasterCost retained for the existing call sites.
 func RasterFetchCost(mp Mapping, r int) Cost {
-	var c Cost
-	switch m := mp.(type) {
-	case *Hierarchical:
-		side := int64(2*r + 1)
-		// Per source layer (sx, sy): PE box extents depend on the intra-PE
-		// position of the source pixel.
-		for sy := 0; sy < m.YVR; sy++ {
-			bh := boxExtent(sy, r, m.YVR)
-			for sx := 0; sx < m.XVR; sx++ {
-				bw := boxExtent(sx, r, m.XVR)
-				c.XNetShifts += bw * bh
-			}
-		}
-		// One store per needed value per resident target pixel.
-		c.MemDirect += int64(m.Layers()) * side * side
-	case *CutStack:
-		// Every source layer's box spans the full pixel radius in PEs.
-		side := int64(2*r + 1)
-		bw := int64(2*m.PESpanX(r) + 1)
-		bh := int64(2*m.PESpanY(r) + 1)
-		c.XNetShifts += int64(m.Layers()) * bw * bh
-		c.MemDirect += int64(m.Layers()) * side * side
-	default:
-		panic(fmt.Sprintf("maspar: unknown mapping %T", mp))
-	}
-	return c
+	return mp.RasterCost(r)
 }
 
 // boxExtent returns the number of PE offsets along one axis that hold
@@ -262,7 +207,7 @@ func SnakeFetchCost(mp Mapping, r int) Cost {
 	var c Cost
 	path := snakePath(r)
 	for _, d := range path {
-		xnet, mem := shiftCost(mp, d)
+		xnet, mem := mp.ShiftCost(d)
 		c.XNetShifts += xnet
 		c.MemDirect += mem
 	}
@@ -292,13 +237,14 @@ func RouterFetchCost(mp Mapping, r int) Cost {
 
 // FetchCost returns the modeled cost of one neighborhood fetch of radius r
 // under the given scheme — the quantity the §4.2 design comparison (and
-// our ablation bench) is about.
-func FetchCost(mp Mapping, r int, s FetchScheme) Cost {
+// our ablation bench) is about. An error is returned for an unknown
+// scheme.
+func FetchCost(mp Mapping, r int, s FetchScheme) (Cost, error) {
 	switch s {
 	case SnakeReadout:
-		return SnakeFetchCost(mp, r)
+		return SnakeFetchCost(mp, r), nil
 	case RasterReadout:
-		return RasterFetchCost(mp, r)
+		return RasterFetchCost(mp, r), nil
 	}
-	panic(fmt.Sprintf("maspar: unknown scheme %v", s))
+	return Cost{}, fmt.Errorf("maspar: unknown scheme %v", s)
 }

@@ -10,7 +10,7 @@ func TestSIMDSurfaceFitMatchesDirectFit(t *testing.T) {
 	// pixels (borders differ: toroidal mesh vs host clamping).
 	m := testMachine(8, 8)
 	g := randGrid(32, 32, 31)
-	img := Distribute(m, NewHierarchical(m, 32, 32), g)
+	img := mustDistribute(m, mustHier(m, 32, 32), g)
 	geo, err := SIMDSurfaceFit(m, img, 2, RasterReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func solve6ForTest(a Mat6ForTest, b [6]float64, t *testing.T) [6]float64 {
 func TestSIMDSurfaceFitChargesPerLayer(t *testing.T) {
 	m := testMachine(4, 4)
 	g := randGrid(16, 16, 33)
-	img := Distribute(m, NewHierarchical(m, 16, 16), g)
+	img := mustDistribute(m, mustHier(m, 16, 16), g)
 	m.ResetCost()
 	if _, err := SIMDSurfaceFit(m, img, 2, RasterReadout); err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ func TestSIMDSurfaceFitFlatSurface(t *testing.T) {
 	m := testMachine(4, 4)
 	g := randGrid(16, 16, 35)
 	g.Fill(7)
-	img := Distribute(m, NewHierarchical(m, 16, 16), g)
+	img := mustDistribute(m, mustHier(m, 16, 16), g)
 	geo, err := SIMDSurfaceFit(m, img, 1, SnakeReadout)
 	if err != nil {
 		t.Fatal(err)
@@ -126,7 +126,7 @@ func TestSIMDSurfaceFitFlatSurface(t *testing.T) {
 
 func TestSIMDSurfaceFitValidation(t *testing.T) {
 	m := testMachine(4, 4)
-	img := Distribute(m, NewHierarchical(m, 16, 16), randGrid(16, 16, 37))
+	img := mustDistribute(m, mustHier(m, 16, 16), randGrid(16, 16, 37))
 	if _, err := SIMDSurfaceFit(m, img, 0, RasterReadout); err == nil {
 		t.Fatal("zero radius accepted")
 	}

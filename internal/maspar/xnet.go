@@ -21,28 +21,25 @@ const (
 	NorthWest
 )
 
+// deltas holds the (dx, dy) PE-grid offset per Direction, in constant
+// declaration order.
+var deltas = [8][2]int{
+	North:     {0, -1},
+	NorthEast: {1, -1},
+	East:      {1, 0},
+	SouthEast: {1, 1},
+	South:     {0, 1},
+	SouthWest: {-1, 1},
+	West:      {-1, 0},
+	NorthWest: {-1, -1},
+}
+
 // Delta returns the (dx, dy) PE-grid offset of the neighbor in direction d
-// with y growing southward (row-major PE indexing).
+// with y growing southward (row-major PE indexing). A direction outside
+// the eight constants is a programmer error and faults on the table index.
 func (d Direction) Delta() (dx, dy int) {
-	switch d {
-	case North:
-		return 0, -1
-	case NorthEast:
-		return 1, -1
-	case East:
-		return 1, 0
-	case SouthEast:
-		return 1, 1
-	case South:
-		return 0, 1
-	case SouthWest:
-		return -1, 1
-	case West:
-		return -1, 0
-	case NorthWest:
-		return -1, -1
-	}
-	panic(fmt.Sprintf("maspar: invalid direction %d", int(d)))
+	v := deltas[d]
+	return v[0], v[1]
 }
 
 // String implements fmt.Stringer.

@@ -109,7 +109,8 @@ func ConfidenceSmooth(flow *grid.VectorField, eps *grid.Grid, radius int) (*grid
 		return nil, fmt.Errorf("postproc: radius must be positive")
 	}
 	// ε₀: a small fraction of the mean residual keeps weights finite.
-	eps0 := float32(eps.Mean())*0.01 + 1e-9
+	em := float32(eps.Mean())
+	eps0 := em*0.01 + 1e-9
 	out := grid.NewVectorField(w, h)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {

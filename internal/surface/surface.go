@@ -56,10 +56,11 @@ type Fitter struct {
 }
 
 // NewFitter returns a Fitter for a (2ns+1)×(2ns+1) surface-patch window.
-// ns must be at least 1 so the quadratic terms are identifiable.
-func NewFitter(ns int) *Fitter {
+// ns must be at least 1 so the quadratic terms are identifiable; smaller
+// radii return an error.
+func NewFitter(ns int) (*Fitter, error) {
 	if ns < 1 {
-		panic(fmt.Sprintf("surface: Ns = %d, need >= 1", ns))
+		return nil, fmt.Errorf("surface: Ns = %d, need >= 1", ns)
 	}
 	f := &Fitter{Ns: ns}
 	for dv := -ns; dv <= ns; dv++ {
@@ -76,7 +77,7 @@ func NewFitter(ns int) *Fitter {
 			}
 		}
 	}
-	return f
+	return f, nil
 }
 
 // WindowSize returns the patch window edge length 2·Ns+1.

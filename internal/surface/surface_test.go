@@ -19,20 +19,29 @@ func quadGrid(w, h int, c [6]float64) *grid.Grid {
 	return g
 }
 
-func TestNewFitterPanicsOnZeroRadius(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewFitter(0) did not panic")
-		}
-	}()
-	NewFitter(0)
+func TestNewFitterRejectsZeroRadius(t *testing.T) {
+	if _, err := NewFitter(0); err == nil {
+		t.Fatal("NewFitter(0) accepted")
+	}
+	if _, err := NewFitter(-3); err == nil {
+		t.Fatal("NewFitter(-3) accepted")
+	}
+}
+
+// mustFitter unwraps NewFitter for fixtures with valid radii.
+func mustFitter(ns int) *Fitter {
+	f, err := NewFitter(ns)
+	if err != nil {
+		panic(err)
+	}
+	return f
 }
 
 func TestFitRecoversExactQuadratic(t *testing.T) {
 	// A global quadratic is recovered exactly at interior pixels.
 	c := [6]float64{2, 0.5, -0.25, 0.05, -0.02, 0.03}
 	g := quadGrid(16, 16, c)
-	f := NewFitter(2)
+	f := mustFitter(2)
 	p, ok := f.Fit(g, 8, 8)
 	if !ok {
 		t.Fatal("fit failed")
@@ -58,7 +67,7 @@ func TestFitRecoversExactQuadratic(t *testing.T) {
 
 func TestFitPlaneGivesZeroDiscriminant(t *testing.T) {
 	g := quadGrid(12, 12, [6]float64{1, 0.3, -0.7, 0, 0, 0})
-	f := NewFitter(2)
+	f := mustFitter(2)
 	p, _ := f.Fit(g, 6, 6)
 	if math.Abs(p.Discriminant()) > 1e-8 {
 		t.Fatalf("plane discriminant = %v, want 0", p.Discriminant())
@@ -66,7 +75,7 @@ func TestFitPlaneGivesZeroDiscriminant(t *testing.T) {
 }
 
 func TestDiscriminantSignatures(t *testing.T) {
-	f := NewFitter(2)
+	f := mustFitter(2)
 	// Bowl (elliptic): D > 0. Saddle (hyperbolic): D < 0.
 	bowl := quadGrid(12, 12, [6]float64{0, 0, 0, 1, 0, 1})
 	saddle := quadGrid(12, 12, [6]float64{0, 0, 0, 1, 0, -1})
@@ -91,7 +100,7 @@ func TestPatchEval(t *testing.T) {
 func TestFitAllNormalsOnTiltedPlane(t *testing.T) {
 	// Plane z = 2x: zx = 2, zy = 0, so n ∝ (−2, 0, 1)/√5.
 	g := quadGrid(16, 16, [6]float64{0, 2, 0, 0, 0, 0})
-	f := NewFitter(2)
+	f := mustFitter(2)
 	fl := f.FitAll(g)
 	wantNi := -2 / math.Sqrt(5)
 	wantNk := 1 / math.Sqrt(5)
@@ -108,7 +117,7 @@ func TestFitAllNormalsOnTiltedPlane(t *testing.T) {
 func TestFitAllFundamentalForm(t *testing.T) {
 	// Plane z = 3y: E = 1, G = 1+9 = 10.
 	g := quadGrid(16, 16, [6]float64{0, 0, 3, 0, 0, 0})
-	fl := NewFitter(2).FitAll(g)
+	fl := mustFitter(2).FitAll(g)
 	if e := fl.E.At(8, 8); math.Abs(float64(e)-1) > 1e-4 {
 		t.Fatalf("E = %v, want 1", e)
 	}
@@ -120,7 +129,7 @@ func TestFitAllFundamentalForm(t *testing.T) {
 func TestFitAllFlatSurface(t *testing.T) {
 	g := grid.New(8, 8)
 	g.Fill(5)
-	fl := NewFitter(1).FitAll(g)
+	fl := mustFitter(1).FitAll(g)
 	for y := 0; y < 8; y++ {
 		for x := 0; x < 8; x++ {
 			ni, nj, nk := fl.NormalAt(x, y)
@@ -135,7 +144,7 @@ func TestFitAllFlatSurface(t *testing.T) {
 }
 
 func TestWindowSize(t *testing.T) {
-	if s := NewFitter(2).WindowSize(); s != 5 {
+	if s := mustFitter(2).WindowSize(); s != 5 {
 		t.Fatalf("WindowSize = %d, want 5 (paper's surface-fit window)", s)
 	}
 }
@@ -148,7 +157,7 @@ func TestFitSmoothsNoise(t *testing.T) {
 	g.ApplyXY(func(x, y int, _ float32) float32 {
 		return float32(0.5*float64(x)) + (rng.Float32()-0.5)*0.2
 	})
-	f := NewFitter(2)
+	f := mustFitter(2)
 	var fitErr, rawErr float64
 	for y := 4; y < 28; y++ {
 		for x := 4; x < 28; x++ {
@@ -172,7 +181,7 @@ func TestPropertyNormalsUnitLength(t *testing.T) {
 		for i := range g.Data {
 			g.Data[i] = rng.Float32() * 10
 		}
-		fl := NewFitter(1).FitAll(g)
+		fl := mustFitter(1).FitAll(g)
 		for y := 0; y < 10; y++ {
 			for x := 0; x < 10; x++ {
 				ni, nj, nk := fl.NormalAt(x, y)
@@ -201,7 +210,7 @@ func TestPropertyFitOffsetInvariance(t *testing.T) {
 		}
 		g2 := g.Clone()
 		g2.Apply(func(v float32) float32 { return v + off })
-		ft := NewFitter(2)
+		ft := mustFitter(2)
 		p1, _ := ft.Fit(g, 4, 4)
 		p2, _ := ft.Fit(g2, 4, 4)
 		if math.Abs((p2.C[0]-p1.C[0])-float64(off)) > 1e-4 {
@@ -225,7 +234,7 @@ func BenchmarkFitAll64(b *testing.B) {
 	for i := range g.Data {
 		g.Data[i] = rng.Float32() * 255
 	}
-	f := NewFitter(2)
+	f := mustFitter(2)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

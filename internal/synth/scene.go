@@ -61,7 +61,8 @@ func (s *Scene) Height(frame *grid.Grid) *grid.Grid {
 	if gain == 0 {
 		gain = 0.05
 	}
-	z.Apply(func(v float32) float32 { return v * float32(gain) })
+	g := float32(gain)
+	z.Apply(func(v float32) float32 { return v * g })
 	return z
 }
 

@@ -1,0 +1,30 @@
+#!/bin/sh
+# The full pre-merge gate: formatting, go vet, the smavet project
+# analyzers, and the test suite under the race detector. Run from the
+# repository root (make check does).
+set -eu
+
+fail=0
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:"
+    echo "$unformatted"
+    fail=1
+fi
+
+echo "== go vet"
+go vet ./... || fail=1
+
+echo "== smavet"
+go run ./cmd/smavet ./... || fail=1
+
+echo "== go test -race"
+go test -race ./... || fail=1
+
+if [ "$fail" -ne 0 ]; then
+    echo "check: FAILED"
+    exit 1
+fi
+echo "check: OK"
