@@ -29,13 +29,15 @@ smavet:
 race:
 	$(GO) test -race ./...
 
-# fuzz-smoke: a short -fuzz pass over the binary-format readers, enough
-# to catch regressions in the parsers' bounds handling without tying up
-# CI. Corpus finds are kept under the packages' testdata.
+# fuzz-smoke: a short -fuzz pass over the binary-format readers and the
+# streaming scheduler, enough to catch regressions in the parsers'
+# bounds handling and the pipeline's ordering/caching invariants without
+# tying up CI. Corpus finds are kept under the packages' testdata.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadPGM -fuzztime=$(FUZZTIME) ./internal/grid
 	$(GO) test -run=^$$ -fuzz=FuzzReadArea -fuzztime=$(FUZZTIME) ./internal/ingest
+	$(GO) test -run=^$$ -fuzz=FuzzPipelineScheduling -fuzztime=$(FUZZTIME) ./internal/stream
 
 fmt:
 	gofmt -w .

@@ -23,10 +23,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smabench: ")
 	var (
-		only   = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation")
-		size   = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
-		seed   = flag.Int64("seed", 5, "scene seed for the functional experiments")
-		report = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
+		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,stream")
+		size     = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
+		seed     = flag.Int64("seed", 5, "scene seed for the functional experiments")
+		report   = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
+		frames   = flag.Int("frames", 6, "sequence length for the stream throughput benchmark")
+		workers  = flag.Int("workers", 0, "pair-tracking workers for the stream benchmark (0 = GOMAXPROCS)")
+		benchOut = flag.String("bench-out", "BENCH_stream.json", "where the stream benchmark writes its frames/sec trajectory point")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -184,6 +187,32 @@ func main() {
 			fmt.Printf("  %3dx%-6d %9.3f px %18v\n", p.Window, p.Window, p.RMSE, p.PerPixel)
 		}
 		fmt.Println()
+	}
+	if run("stream") {
+		r, err := eval.StreamThroughputExperiment(*size, *frames, *workers, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Streaming pipeline — multi-frame throughput with prepared-surface caching")
+		fmt.Printf("  %d frames at %d×%d, %d workers, LRU capacity %d\n",
+			r.Frames, r.Size, r.Size, r.Workers, r.CacheSize)
+		fmt.Printf("  surface fits: %d computed, %d reused (pairwise mode would fit %d)\n",
+			r.FitsComputed, r.FitsReused, 2*(r.Frames-1))
+		fmt.Printf("  pairwise baseline: %.3fs   streamed: %.3fs   speedup %.2fx\n",
+			r.PairwiseSec, r.StreamSec, r.Speedup)
+		fmt.Printf("  throughput: %.2f frames/s (%.2f pairs/s), bit-identical: %v\n",
+			r.FramesPerSec, r.PairsPerSec, r.BitIdentical)
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n\n", *benchOut)
 	}
 	if run("ablation") {
 		fmt.Println("Ablation — neighborhood fetch design (§3.2/§4.2), 121×121 template at paper scale")

@@ -7,10 +7,16 @@
 //
 //	smatrack -i0 frame_000.pgm -i1 frame_001.pgm -nzs 3 -nzt 4 -nss 1
 //	smatrack -i0 a.pgm -i1 b.pgm -driver maspar -pe 16 -scheme raster
+//	smatrack -stream f0.pgm,f1.pgm,f2.pgm,f3.pgm -stream-workers 4
 //
 // With -z0/-z1 the given surface (height/disparity) maps drive the normal
 // computation, as in the paper's stereo runs; otherwise the intensity
 // images are treated as digital surfaces (the paper's monocular mode).
+//
+// -stream switches to the multi-frame pipeline (docs/PIPELINE.md): every
+// consecutive pair of the listed frames is tracked, each frame's surface
+// fit computed once and reused across its two pairs, with results
+// bit-identical to running the pairs one at a time.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"sma/internal/core"
 	"sma/internal/eval"
@@ -26,6 +33,7 @@ import (
 	"sma/internal/maspar"
 	"sma/internal/quality"
 	"sma/internal/sequence"
+	"sma/internal/stream"
 	"sma/internal/viz"
 )
 
@@ -53,10 +61,21 @@ func main() {
 		step   = flag.Int("quiver-step", 8, "quiver sampling stride")
 		kmPx   = flag.Float64("km-per-pixel", 0, "ground sample distance; with -dt-seconds, report winds in m/s")
 		dtSec  = flag.Float64("dt-seconds", 0, "frame interval in seconds")
+
+		streamPaths   = flag.String("stream", "", "comma-separated frame paths (PGM/AREA): stream mode, tracking every consecutive pair")
+		streamWorkers = flag.Int("stream-workers", 0, "pair-tracking workers in stream mode (0 = GOMAXPROCS)")
+		streamCache   = flag.Int("stream-cache", 0, "prepared-frame LRU capacity in stream mode (0 = default)")
 	)
 	flag.Parse()
+	params0 := core.Params{NS: *ns, NZS: *nzs, NZT: *nzt, NST: *nst, NSS: *nss}
+	if *streamPaths != "" {
+		geo := sequence.Geometry{KmPerPixel: *kmPx, SecondsPerDt: *dtSec}
+		runStream(strings.Split(*streamPaths, ","), params0, core.Options{Robust: *robust},
+			*streamWorkers, *streamCache, geo)
+		return
+	}
 	if *i0Path == "" || *i1Path == "" {
-		log.Fatal("-i0 and -i1 are required")
+		log.Fatal("-i0 and -i1 are required (or use -stream)")
 	}
 	i0, err := readImage(*i0Path)
 	if err != nil {
@@ -82,7 +101,7 @@ func main() {
 		pair = core.Pair{I0: i0, I1: i1, Z0: z0, Z1: z1}
 	}
 
-	params := core.Params{NS: *ns, NZS: *nzs, NZT: *nzt, NST: *nst, NSS: *nss}
+	params := params0
 	opt := core.Options{Robust: *robust}
 
 	var flow *grid.VectorField
@@ -152,6 +171,34 @@ func main() {
 		}
 		fmt.Println("wrote", *svgOut)
 	}
+}
+
+// runStream tracks every consecutive pair of a monocular frame sequence
+// through the streaming pipeline, printing one summary line per pair as
+// it is delivered (in order) and the pipeline's work counters at the end.
+func runStream(paths []string, params core.Params, opt core.Options, workers, cache int, geo sequence.Geometry) {
+	for i := range paths {
+		paths[i] = strings.TrimSpace(paths[i])
+	}
+	src := stream.Paths(paths, readImage)
+	cfg := stream.Config{Params: params, Options: opt, Workers: workers, CacheSize: cache}
+	start := time.Now()
+	st, err := stream.Stream(src, cfg, func(i int, res *core.Result) error {
+		line := fmt.Sprintf("pair %03d→%03d: mean |d| = %.3f px", i, i+1, res.Flow.MeanMagnitude())
+		if geo.KmPerPixel > 0 && geo.SecondsPerDt > 0 {
+			speed, _ := geo.WindField(res.Flow)
+			line += fmt.Sprintf(", mean wind %.1f m/s", speed.Mean())
+		}
+		fmt.Println(line)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("stream: %d frames, %d pairs, %d fits computed, %d reused, %.2f frames/s (%v total)\n",
+		st.FramesIn, st.PairsTracked, st.FitsComputed, st.FitsReused,
+		float64(st.FramesIn)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
 }
 
 // readImage loads a PGM or McIDAS AREA image, chosen by file extension.

@@ -1,9 +1,10 @@
 // Pipeline: the complete operational chain at laptop scale — synthesize a
 // GOES-like stereo scene, write/read McIDAS AREA files (the era's
 // interchange format), recover cloud-top surfaces with ASA plus the
-// geostationary parallax geometry, track semi-fluid motion, classify
-// clouds, post-process the wind field, and emit an SVG wind-vector
-// product. Every substrate in the repository appears once.
+// geostationary parallax geometry, track semi-fluid motion through the
+// streaming multi-frame pipeline, classify clouds, post-process the wind
+// field, and emit an SVG wind-vector product. Every substrate in the
+// repository appears once.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"sma/internal/postproc"
 	"sma/internal/sequence"
 	"sma/internal/stereo"
+	"sma/internal/stream"
 	"sma/internal/synth"
 	"sma/internal/viz"
 )
@@ -77,13 +79,21 @@ func main() {
 	fmt.Printf("cloud-top heights: RMS error %.3f km vs truth\n",
 		zEst.Crop(*size/8, *size/8, in, in).RMSDiff(z0km.Crop(*size/8, *size/8, in, in)))
 
-	// 4. Semi-fluid tracking (host-parallel driver).
+	// 4. Semi-fluid tracking through the streaming pipeline: three frames,
+	//    two pairs, the shared middle frame surface-fitted exactly once
+	//    (docs/PIPELINE.md). Results are bit-identical to pairwise
+	//    sequential tracking.
 	p := core.ScaledParams()
 	p.NZS = 3
-	res, err := core.TrackParallel(core.Monocular(i0, i1), p, core.Options{}, 0)
+	i2 := scene.Frame(2)
+	results, st, err := stream.Run(stream.Grids([]*grid.Grid{i0, i1, i2}),
+		stream.Config{Params: p, Workers: 0})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("streamed %d frames: %d surface fits computed, %d reused, %d pairs tracked\n",
+		st.FramesIn, st.FitsComputed, st.FitsReused, st.PairsTracked)
+	res := results[0]
 
 	// 5. Cloud classification, post-processing, physical winds.
 	mask := classify.CloudMask(i0)

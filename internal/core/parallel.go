@@ -18,15 +18,23 @@ func TrackParallel(pair Pair, p Params, opt Options, workers int) (*Result, erro
 	if workers < 0 {
 		return nil, fmt.Errorf("core: negative worker count %d", workers)
 	}
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	prep, err := Prepare(pair, p)
 	if err != nil {
 		return nil, err
 	}
 	sm := BuildSemiMap(prep)
+	return TrackPreparedParallel(prep, sm, opt, workers), nil
+}
 
+// TrackPreparedParallel runs the hypothesis search on already-prepared
+// geometry with worker goroutines striping image rows (0 = GOMAXPROCS).
+// Rows are disjoint and the inputs read-only, so the result is
+// bit-identical to TrackPrepared at every worker count — the property the
+// streaming pipeline's row-parallel mode relies on.
+func TrackPreparedParallel(prep *Prepared, sm *SemiMap, opt Options, workers int) *Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	w, h := prep.W, prep.H
 	res := &Result{Flow: grid.NewVectorField(w, h), Err: grid.New(w, h)}
 	if opt.KeepMotion {
@@ -62,5 +70,5 @@ func TrackParallel(pair Pair, p Params, opt Options, workers int) (*Result, erro
 	}
 	close(rows)
 	wg.Wait()
-	return res, nil
+	return res
 }

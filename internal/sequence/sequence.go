@@ -12,31 +12,44 @@ import (
 
 	"sma/internal/core"
 	"sma/internal/grid"
+	"sma/internal/stream"
 )
 
 // Track runs the tracker over every consecutive frame pair of a monocular
-// sequence, returning len(frames)−1 flow fields. workers > 1 uses the
-// host-parallel driver per pair.
+// sequence, returning len(frames)−1 flow fields. The run is driven by the
+// streaming pipeline (internal/stream), so each frame's surface fits are
+// computed once and shared by its two pairs; results are bit-identical to
+// independent per-pair core.TrackSequential runs. workers > 1 tracks up
+// to that many pairs concurrently, each additionally striped across the
+// same number of row workers.
 func Track(frames []*grid.Grid, p core.Params, opt core.Options, workers int) ([]*grid.VectorField, error) {
+	flows, _, err := TrackStats(frames, p, opt, workers)
+	return flows, err
+}
+
+// TrackStats is Track plus the streaming pipeline's work counters —
+// fits computed vs. reused, pairs tracked — for throughput reporting.
+func TrackStats(frames []*grid.Grid, p core.Params, opt core.Options, workers int) ([]*grid.VectorField, stream.Stats, error) {
 	if len(frames) < 2 {
-		return nil, fmt.Errorf("sequence: need at least 2 frames, got %d", len(frames))
+		return nil, stream.Stats{}, fmt.Errorf("sequence: need at least 2 frames, got %d", len(frames))
 	}
-	flows := make([]*grid.VectorField, len(frames)-1)
-	for i := 0; i+1 < len(frames); i++ {
-		pair := core.Monocular(frames[i], frames[i+1])
-		var res *core.Result
-		var err error
-		if workers > 1 {
-			res, err = core.TrackParallel(pair, p, opt, workers)
-		} else {
-			res, err = core.TrackSequential(pair, p, opt)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("sequence: pair %d→%d: %w", i, i+1, err)
-		}
-		flows[i] = res.Flow
+	if workers < 1 {
+		workers = 1
 	}
-	return flows, nil
+	results, st, err := stream.Run(stream.Grids(frames), stream.Config{
+		Params:     p,
+		Options:    opt,
+		Workers:    workers,
+		RowWorkers: workers,
+	})
+	if err != nil {
+		return nil, st, fmt.Errorf("sequence: %w", err)
+	}
+	flows := make([]*grid.VectorField, len(results))
+	for i, r := range results {
+		flows[i] = r.Flow
+	}
+	return flows, st, nil
 }
 
 // Pos is a sub-pixel particle position.

@@ -62,6 +62,64 @@ func TestTrackSequenceParallelMatches(t *testing.T) {
 	}
 }
 
+// TestTrackStatsCaching proves the sequence driver inherits the streaming
+// pipeline's prepared-surface caching: N frames cost exactly N surface
+// fits, with 2(N−1)−N cache reuses.
+func TestTrackStatsCaching(t *testing.T) {
+	const n = 5
+	frames := uniformFrames(20, 20, n, 11, 1, 0)
+	p := core.Params{NS: 2, NZS: 2, NZT: 3}
+	flows, st, err := TrackStats(frames, p, core.Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != n-1 {
+		t.Fatalf("got %d flows, want %d", len(flows), n-1)
+	}
+	if st.FitsComputed != n {
+		t.Fatalf("FitsComputed = %d, want %d (one per frame)", st.FitsComputed, n)
+	}
+	if want := int64(2*(n-1) - n); st.FitsReused != want {
+		t.Fatalf("FitsReused = %d, want %d", st.FitsReused, want)
+	}
+	if st.PairsTracked != n-1 {
+		t.Fatalf("PairsTracked = %d, want %d", st.PairsTracked, n-1)
+	}
+}
+
+// TestTrackMatchesPairwiseSequential pins the sequence driver to the
+// pairwise baseline bit for bit, semi-fluid model included.
+func TestTrackMatchesPairwiseSequential(t *testing.T) {
+	frames := uniformFrames(18, 18, 4, 13, 1, 1)
+	p := core.Params{NS: 2, NZS: 2, NZT: 3, NST: 2, NSS: 1}
+	for _, workers := range []int{1, 4} {
+		flows, err := Track(frames, p, core.Options{}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range flows {
+			want, err := core.TrackSequential(core.Monocular(frames[i], frames[i+1]), p, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !flows[i].Equal(want.Flow) {
+				t.Fatalf("workers=%d: pair %d differs from pairwise TrackSequential", workers, i)
+			}
+		}
+	}
+}
+
+// TestTrackSizeMismatchError checks assembly errors surface with pair
+// context rather than corrupting the stream.
+func TestTrackSizeMismatchError(t *testing.T) {
+	frames := uniformFrames(16, 16, 3, 15, 1, 0)
+	frames[2] = grid.New(8, 8)
+	p := core.Params{NS: 2, NZS: 2, NZT: 3}
+	if _, err := Track(frames, p, core.Options{}, 1); err == nil {
+		t.Fatal("mismatched frame sizes accepted")
+	}
+}
+
 func TestTrajectoriesThroughUniformFlow(t *testing.T) {
 	flows := make([]*grid.VectorField, 3)
 	for i := range flows {

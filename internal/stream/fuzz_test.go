@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+// FuzzPipelineScheduling drives the frame-window/cache-eviction machinery
+// through randomized shapes: frame counts, worker counts, cache and window
+// sizes, and scene seeds. Whatever the schedule, the pipeline must never
+// deadlock (the testing harness would time out), drop or reorder a pair,
+// miscount its fits, or diverge from the pairwise sequential baseline.
+func FuzzPipelineScheduling(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(1), uint8(1), uint8(0))
+	f.Add(uint8(7), uint8(3), uint8(2), uint8(4), uint8(1))
+	f.Add(uint8(2), uint8(1), uint8(9), uint8(2), uint8(3))
+	f.Add(uint8(9), uint8(5), uint8(0), uint8(3), uint8(7))
+	f.Fuzz(func(t *testing.T, nFrames, workers, cache, window, seed uint8) {
+		n := int(nFrames)%8 + 2   // 2..9 frames
+		w := int(workers)%6 + 1   // 1..6 pair workers
+		c := int(cache)%(n+2) + 1 // 1..n+2: undersized through oversized LRUs
+		win := int(window)%5 + 1  // 1..5 in-flight window
+		scene := synth.Hurricane(12, 12, int64(seed))
+		frames := make([]*grid.Grid, n)
+		for i := range frames {
+			frames[i] = scene.Frame(float64(i))
+		}
+		p := core.Params{NS: 1, NZS: 1, NZT: 1}
+
+		var order []int
+		st, err := Stream(Grids(frames), Config{
+			Params: p, Workers: w, CacheSize: c, Window: win,
+		}, func(i int, res *core.Result) error {
+			order = append(order, i)
+			want, err := core.TrackSequential(core.Monocular(frames[i], frames[i+1]), p, core.Options{})
+			if err != nil {
+				return err
+			}
+			if !res.Flow.Equal(want.Flow) || !res.Err.Equal(want.Err) {
+				t.Errorf("n=%d w=%d cache=%d window=%d: pair %d differs from TrackSequential", n, w, c, win, i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d w=%d cache=%d window=%d: %v", n, w, c, win, err)
+		}
+		if len(order) != n-1 {
+			t.Fatalf("delivered %d pairs, want %d (dropped or duplicated)", len(order), n-1)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("pairs reordered: %v", order)
+			}
+		}
+		if st.FitsComputed != int64(n) {
+			t.Fatalf("FitsComputed = %d, want %d", st.FitsComputed, n)
+		}
+		if want := int64(2*(n-1) - n); st.FitsReused != want {
+			t.Fatalf("FitsReused = %d, want %d", st.FitsReused, want)
+		}
+	})
+}

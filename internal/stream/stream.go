@@ -1,0 +1,264 @@
+// Package stream implements the multi-frame tracking pipeline the MP-2
+// deployment exists for: pushing an ordered sequence of frames through the
+// SMA tracker at sustained throughput rather than single-pair latency.
+//
+// The pipeline consumes frames from a Source, prepares each frame's
+// surface fits exactly once (an LRU cache of core.FramePrep keyed by frame
+// index carries frame t's fit from pair (t−1, t) to pair (t, t+1)), and
+// drives the per-pair hypothesis search through a bounded-concurrency
+// scheduler with backpressure. Motion fields are delivered strictly in
+// pair order, and every delivered field is bit-identical to what pairwise
+// core.TrackSequential would produce — at every worker count, window and
+// cache size. The conformance suite (golden fixtures, the equivalence
+// matrix in stream_test.go, FuzzPipelineScheduling) enforces that claim;
+// see docs/PIPELINE.md.
+package stream
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"sma/internal/core"
+)
+
+// DefaultCacheSize is the prepared-frame LRU capacity when Config leaves
+// CacheSize zero. Two entries are exactly what in-order pairwise streaming
+// needs: the shared frame plus the newly fitted one.
+const DefaultCacheSize = 2
+
+// Config controls a streaming run.
+type Config struct {
+	Params  core.Params
+	Options core.Options
+	// Workers bounds how many pairs are tracked concurrently
+	// (0 = GOMAXPROCS). Results are independent of the worker count.
+	Workers int
+	// RowWorkers additionally stripes each pair's rows across goroutines
+	// (core.TrackPreparedParallel); 0 or 1 tracks each pair on a single
+	// goroutine. Useful when sequences are short and pairs large.
+	RowWorkers int
+	// CacheSize caps the prepared-frame LRU (0 = DefaultCacheSize; must
+	// be >= 1). Any capacity >= 1 suffices for each frame to be fitted
+	// exactly once during in-order streaming; larger caches only help
+	// hypothetical out-of-order replays.
+	CacheSize int
+	// Window is the backpressure bound: the capacity of the assembled-pair
+	// queue feeding the workers and of the result queue draining them
+	// (0 = Workers). At most Window + Workers assembled pairs are in
+	// flight ahead of the collector, which bounds peak memory.
+	Window int
+}
+
+// Stats counts the pipeline's per-stage work. FitsComputed/FitsReused
+// make the caching observable: N in-order frames cost exactly N fits,
+// and the 2(N−1) per-pair lookups hit the cache 2(N−1)−N times.
+type Stats struct {
+	FramesIn     int64 // frames consumed from the source
+	FitsComputed int64 // core.PrepareFrame executions (cache misses)
+	FitsReused   int64 // cache hits
+	Evictions    int64 // prepared frames dropped by the LRU
+	PairsTracked int64 // motion fields delivered in order
+}
+
+// Source yields the frames of an ordered image sequence. Next returns
+// io.EOF after the final frame; any other error aborts the stream.
+type Source interface {
+	Next() (core.Frame, error)
+}
+
+type pairJob struct {
+	index int
+	prep  *core.Prepared
+}
+
+type pairResult struct {
+	index int
+	res   *core.Result
+}
+
+// Stream drives the pipeline over the whole source, calling emit once per
+// adjacent frame pair, in pair order (emit(0, ...) is the motion field of
+// frames 0→1). A non-nil error from emit cancels the run and is returned.
+// Each delivered Result is bit-identical to core.TrackSequential on the
+// corresponding pair.
+func Stream(src Source, cfg Config, emit func(pair int, res *core.Result) error) (Stats, error) {
+	var st Stats
+	if src == nil {
+		return st, fmt.Errorf("stream: nil source")
+	}
+	if emit == nil {
+		return st, fmt.Errorf("stream: nil emit callback")
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return st, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	if cacheSize < 1 {
+		return st, fmt.Errorf("stream: cache size %d, need >= 1", cfg.CacheSize)
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = workers
+	}
+	if window < 1 {
+		return st, fmt.Errorf("stream: window %d, need >= 1", cfg.Window)
+	}
+
+	jobs := make(chan pairJob, window)
+	results := make(chan pairResult, window)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Producer: reads frames in order, prepares each exactly once through
+	// the LRU, assembles adjacent pairs and feeds the workers. The jobs
+	// channel's capacity is the backpressure bound — when the trackers
+	// fall behind, preparation stalls instead of accumulating pairs.
+	prodErr := make(chan error, 1)
+	go func() {
+		defer close(jobs)
+		prodErr <- produce(src, cfg.Params, cacheSize, jobs, stop, &st)
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				sm := core.BuildSemiMap(job.prep)
+				var res *core.Result
+				if cfg.RowWorkers > 1 {
+					res = core.TrackPreparedParallel(job.prep, sm, cfg.Options, cfg.RowWorkers)
+				} else {
+					res = core.TrackPrepared(job.prep, sm, cfg.Options)
+				}
+				select {
+				case results <- pairResult{index: job.index, res: res}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: re-establishes pair order before emitting. The pending
+	// map is bounded by the number of in-flight pairs.
+	pending := make(map[int]*core.Result)
+	next := 0
+	var emitErr error
+	for r := range results {
+		if emitErr != nil {
+			continue // draining after cancel
+		}
+		pending[r.index] = r.res
+		for {
+			res, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if err := emit(next, res); err != nil {
+				emitErr = err
+				cancel()
+				break
+			}
+			next++
+			st.PairsTracked++
+		}
+	}
+	err := <-prodErr
+	cancel()
+	if emitErr != nil {
+		return st, emitErr
+	}
+	return st, err
+}
+
+// produce runs in its own goroutine; it is the only writer of the cache
+// and of the producer-side counters.
+func produce(src Source, p core.Params, cacheSize int, jobs chan<- pairJob, stop <-chan struct{}, st *Stats) error {
+	cache := newLRU(cacheSize)
+	var prev core.Frame
+	idx := 0
+	for {
+		f, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("stream: frame %d: %w", idx, err)
+		}
+		st.FramesIn++
+		if idx > 0 {
+			p0, err := framePrep(cache, idx-1, prev, p, st)
+			if err != nil {
+				return err
+			}
+			p1, err := framePrep(cache, idx, f, p, st)
+			if err != nil {
+				return err
+			}
+			prep, err := core.AssemblePair(p0, p1)
+			if err != nil {
+				return fmt.Errorf("stream: pair %d→%d: %w", idx-1, idx, err)
+			}
+			select {
+			case jobs <- pairJob{index: idx - 1, prep: prep}:
+			case <-stop:
+				return nil
+			}
+		}
+		prev = f
+		idx++
+	}
+	if idx < 2 {
+		return fmt.Errorf("stream: need at least 2 frames, got %d", idx)
+	}
+	return nil
+}
+
+// framePrep returns frame i's preparation, fitting it only on a cache
+// miss. Eviction never loses work already referenced by an in-flight
+// pair: the cache holds plain references, so dropped entries stay alive
+// until their pairs finish tracking.
+func framePrep(cache *lru, i int, f core.Frame, p core.Params, st *Stats) (*core.FramePrep, error) {
+	if fp, ok := cache.get(i); ok {
+		st.FitsReused++
+		return fp, nil
+	}
+	fp, err := core.PrepareFrame(f, p)
+	if err != nil {
+		return nil, fmt.Errorf("stream: frame %d: %w", i, err)
+	}
+	st.FitsComputed++
+	st.Evictions += int64(cache.put(i, fp))
+	return fp, nil
+}
+
+// Run streams the whole source and returns the FramesIn−1 pair results in
+// order: Run(...)[i] tracks frames i→i+1.
+func Run(src Source, cfg Config) ([]*core.Result, Stats, error) {
+	var out []*core.Result
+	st, err := Stream(src, cfg, func(_ int, res *core.Result) error {
+		out = append(out, res)
+		return nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}

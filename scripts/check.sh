@@ -23,6 +23,18 @@ go run ./cmd/smavet ./... || fail=1
 echo "== go test -race"
 go test -race ./... || fail=1
 
+# The conformance lock for the streaming pipeline (docs/PIPELINE.md):
+# golden motion-field fixtures plus streaming-vs-pairwise bit-equivalence
+# under the race detector, run by name so a -run filter in the suite
+# above can never silently drop them.
+echo "== golden + stream equivalence (-race)"
+go test -race -run 'Golden|Stream|TrackStats|PrepareFrame' \
+    ./internal/core ./internal/stream ./internal/sequence || fail=1
+
+echo "== stream throughput smoke"
+go run ./cmd/smabench -only stream -size 32 -frames 4 \
+    -bench-out /tmp/BENCH_stream.json || fail=1
+
 if [ "$fail" -ne 0 ]; then
     echo "check: FAILED"
     exit 1
