@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet smavet race fuzz-smoke fmt
+.PHONY: all build test check vet smavet race fuzz-smoke fmt serve-smoke
 
 all: build
 
@@ -38,6 +38,12 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadPGM -fuzztime=$(FUZZTIME) ./internal/grid
 	$(GO) test -run=^$$ -fuzz=FuzzReadArea -fuzztime=$(FUZZTIME) ./internal/ingest
 	$(GO) test -run=^$$ -fuzz=FuzzPipelineScheduling -fuzztime=$(FUZZTIME) ./internal/stream
+
+# serve-smoke: end-to-end smoke of the HTTP serving layer — real
+# smaserve process on a random port, verified concurrent load via
+# smaload, metrics scrape, graceful SIGTERM drain (docs/SERVER.md).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 fmt:
 	gofmt -w .

@@ -23,13 +23,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smabench: ")
 	var (
-		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,stream")
+		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,stream,serve")
 		size     = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
 		seed     = flag.Int64("seed", 5, "scene seed for the functional experiments")
 		report   = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
 		frames   = flag.Int("frames", 6, "sequence length for the stream throughput benchmark")
 		workers  = flag.Int("workers", 0, "pair-tracking workers for the stream benchmark (0 = GOMAXPROCS)")
 		benchOut = flag.String("bench-out", "BENCH_stream.json", "where the stream benchmark writes its frames/sec trajectory point")
+		requests = flag.Int("requests", 24, "request count for the serve benchmark")
+		clients  = flag.Int("clients", 8, "concurrent clients for the serve benchmark")
+		serveOut = flag.String("serve-out", "BENCH_serve.json", "where the serve benchmark writes its latency trajectory point")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -213,6 +216,31 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  wrote %s\n\n", *benchOut)
+	}
+	if run("serve") {
+		r, err := eval.ServeThroughputExperiment(*size/2, *requests, *clients, *workers, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("HTTP serving — smaserve under concurrent load, bit-identity verified")
+		fmt.Printf("  %d requests at concurrency %d, %d×%d frames\n",
+			r.Requests, r.Concurrency, r.Size, r.Size)
+		fmt.Printf("  errors: %d   backpressure rejections retried: %d   mismatches: %d\n",
+			r.Errors, r.Rejected, r.Mismatches)
+		fmt.Printf("  %.1f req/s   latency p50 %.0fms  p90 %.0fms  p99 %.0fms  max %.0fms\n",
+			r.ReqPerSec, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+		fmt.Printf("  bit-identical to sequential tracker: %v\n", r.BitIdentical)
+		f, err := os.Create(*serveOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n\n", *serveOut)
 	}
 	if run("ablation") {
 		fmt.Println("Ablation — neighborhood fetch design (§3.2/§4.2), 121×121 template at paper scale")

@@ -1,0 +1,107 @@
+// Command smaserve runs the SMA motion-tracking HTTP service: synchronous
+// pair tracking (POST /v1/track), asynchronous multi-frame jobs on the
+// streaming pipeline (POST /v1/jobs), SVG rendering of stored results,
+// and the operational endpoints /healthz, /readyz and /metrics.
+//
+// Usage:
+//
+//	smaserve -addr :8080
+//	smaserve -addr 127.0.0.1:0 -port-file /tmp/smaserve.port -workers 4
+//
+// The server drains gracefully on SIGINT/SIGTERM: readiness flips to 503,
+// listeners close, queued and in-flight tracking work runs to completion
+// (bounded by -drain-timeout), then the process exits 0. See
+// docs/SERVER.md for the API and serving model.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sma/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("smaserve: ")
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		portFile     = flag.String("port-file", "", "write the bound port to this file once listening (for scripts)")
+		workers      = flag.Int("workers", 0, "tracking worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 0, "admission queue bound (0 = 2×workers)")
+		maxBody      = flag.Int64("max-body-bytes", 0, "request body cap in bytes (0 = 32 MiB)")
+		trackTimeout = flag.Duration("track-timeout", 0, "synchronous track deadline (0 = 60s)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "asynchronous job deadline (0 = 10m)")
+		resultTTL    = flag.Duration("result-ttl", 0, "how long finished results stay retrievable (0 = 15m)")
+		maxFrames    = flag.Int("max-frames", 0, "job sequence length cap (0 = 512)")
+		maxPixels    = flag.Int("max-pixels", 0, "frame area cap in pixels (0 = 2048²)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain bound")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		MaxBodyBytes: *maxBody,
+		TrackTimeout: *trackTimeout,
+		JobTimeout:   *jobTimeout,
+		ResultTTL:    *resultTTL,
+		MaxFrames:    *maxFrames,
+		MaxPixels:    *maxPixels,
+		Logf:         log.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	if *portFile != "" {
+		port := ln.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(*portFile, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			log.Fatalf("writing port file: %v", err)
+		}
+	}
+	log.Printf("listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %s; draining", s)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain exceeded %v; in-flight work aborted: %v", *drainTimeout, err)
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("drained; bye")
+}

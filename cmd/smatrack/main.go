@@ -65,13 +65,14 @@ func main() {
 		streamPaths   = flag.String("stream", "", "comma-separated frame paths (PGM/AREA): stream mode, tracking every consecutive pair")
 		streamWorkers = flag.Int("stream-workers", 0, "pair-tracking workers in stream mode (0 = GOMAXPROCS)")
 		streamCache   = flag.Int("stream-cache", 0, "prepared-frame LRU capacity in stream mode (0 = default)")
+		verbose       = flag.Bool("v", false, "verbose: print the pipeline's full work counters in stream mode")
 	)
 	flag.Parse()
 	params0 := core.Params{NS: *ns, NZS: *nzs, NZT: *nzt, NST: *nst, NSS: *nss}
 	if *streamPaths != "" {
 		geo := sequence.Geometry{KmPerPixel: *kmPx, SecondsPerDt: *dtSec}
 		runStream(strings.Split(*streamPaths, ","), params0, core.Options{Robust: *robust},
-			*streamWorkers, *streamCache, geo)
+			*streamWorkers, *streamCache, geo, *verbose)
 		return
 	}
 	if *i0Path == "" || *i1Path == "" {
@@ -176,7 +177,10 @@ func main() {
 // runStream tracks every consecutive pair of a monocular frame sequence
 // through the streaming pipeline, printing one summary line per pair as
 // it is delivered (in order) and the pipeline's work counters at the end.
-func runStream(paths []string, params core.Params, opt core.Options, workers, cache int, geo sequence.Geometry) {
+// Verbose mode dumps the full stream.Stats — frames in, fits
+// computed/reused/evicted, pairs tracked — so cache behavior on real
+// sequences is observable without instrumenting the binary.
+func runStream(paths []string, params core.Params, opt core.Options, workers, cache int, geo sequence.Geometry, verbose bool) {
 	for i := range paths {
 		paths[i] = strings.TrimSpace(paths[i])
 	}
@@ -199,6 +203,16 @@ func runStream(paths []string, params core.Params, opt core.Options, workers, ca
 	fmt.Printf("stream: %d frames, %d pairs, %d fits computed, %d reused, %.2f frames/s (%v total)\n",
 		st.FramesIn, st.PairsTracked, st.FitsComputed, st.FitsReused,
 		float64(st.FramesIn)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	if verbose {
+		fmt.Printf("stream counters:\n")
+		fmt.Printf("  frames in:       %d\n", st.FramesIn)
+		fmt.Printf("  fits computed:   %d\n", st.FitsComputed)
+		fmt.Printf("  fits reused:     %d\n", st.FitsReused)
+		fmt.Printf("  fits evicted:    %d\n", st.Evictions)
+		fmt.Printf("  pairs tracked:   %d\n", st.PairsTracked)
+		fmt.Printf("  pairwise mode would fit %d frames; caching saved %d fits\n",
+			2*st.PairsTracked, 2*st.PairsTracked-st.FitsComputed)
+	}
 }
 
 // readImage loads a PGM or McIDAS AREA image, chosen by file extension.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +33,21 @@ func TrackParallel(pair Pair, p Params, opt Options, workers int) (*Result, erro
 // bit-identical to TrackPrepared at every worker count — the property the
 // streaming pipeline's row-parallel mode relies on.
 func TrackPreparedParallel(prep *Prepared, sm *SemiMap, opt Options, workers int) *Result {
+	//smavet:allow errdiscard -- context.Background is never cancelled, so the error is impossible
+	res, _ := TrackPreparedParallelCtx(context.Background(), prep, sm, opt, workers)
+	return res
+}
+
+// TrackPreparedParallelCtx is TrackPreparedParallel with cooperative
+// cancellation: when ctx is cancelled mid-search the row feed stops,
+// workers finish at most their current row each, and the call returns
+// (nil, ctx.Err()). Completed runs are bit-identical to TrackPrepared at
+// every worker count — this is the cancellation point a serving deadline
+// threads down to.
+func TrackPreparedParallelCtx(ctx context.Context, prep *Prepared, sm *SemiMap, opt Options, workers int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -44,6 +60,7 @@ func TrackPreparedParallel(prep *Prepared, sm *SemiMap, opt Options, workers int
 		}
 	}
 	rows := make(chan int)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -65,10 +82,18 @@ func TrackPreparedParallel(prep *Prepared, sm *SemiMap, opt Options, workers int
 			}
 		}()
 	}
+feed:
 	for y := 0; y < h; y++ {
-		rows <- y
+		select {
+		case rows <- y:
+		case <-done:
+			break feed
+		}
 	}
 	close(rows)
 	wg.Wait()
-	return res
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }

@@ -131,30 +131,71 @@ func ReadArea(r io.Reader) (Directory, *grid.Grid, error) {
 	if offset < dirWords*4 {
 		return d, nil, fmt.Errorf("ingest: data offset %d inside the directory", offset)
 	}
+	skip := int64(offset) - dirWords*4
+	// The directory is untrusted input (AREA bytes arrive over HTTP in
+	// smaserve uploads): before allocating Lines×Elements storage, cap the
+	// claimed data size against what the input can actually supply.
+	need := int64(d.Lines) * int64(d.Elements) * int64(d.ByteDepth)
+	if rem, known := remainingInput(r); known && skip+need > rem {
+		return d, nil, fmt.Errorf("ingest: directory claims %dx%d×%d = %d data bytes but only %d remain in the input",
+			d.Elements, d.Lines, d.ByteDepth, need, rem)
+	}
 	// Skip any nav/cal blocks between the directory and the data.
-	if skip := int64(offset) - dirWords*4; skip > 0 {
+	if skip > 0 {
 		if _, err := io.CopyN(io.Discard, r, skip); err != nil {
 			return d, nil, fmt.Errorf("ingest: truncated nav block: %w", err)
 		}
 	}
-	g := grid.New(int(d.Elements), int(d.Lines))
+	// Decode row by row into storage that grows with the data actually
+	// read: even when the input size is unknowable (a pure stream), a
+	// corrupt directory fails at its first short row having allocated at
+	// most ~2× the bytes that really arrived, never the claimed total.
+	pixels := int(d.Lines) * int(d.Elements)
+	initCap := pixels
+	if initCap > 1<<20 {
+		initCap = 1 << 20
+	}
+	data := make([]float32, 0, initCap)
 	buf := make([]byte, int(d.ByteDepth)*int(d.Elements))
 	for y := 0; y < int(d.Lines); y++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return d, nil, fmt.Errorf("ingest: truncated data at line %d: %w", y, err)
 		}
-		row := g.Row(y)
 		if d.ByteDepth == 1 {
-			for x, b := range buf {
-				row[x] = float32(b)
+			for _, b := range buf {
+				data = append(data, float32(b))
 			}
 		} else {
-			for x := range row {
-				row[x] = float32(order.Uint16(buf[2*x:]))
+			for x := 0; x < int(d.Elements); x++ {
+				data = append(data, float32(order.Uint16(buf[2*x:])))
 			}
 		}
 	}
-	return d, g, nil
+	return d, grid.FromSlice(int(d.Elements), int(d.Lines), data), nil
+}
+
+// remainingInput reports how many bytes r can still supply, when that is
+// knowable without consuming it: readers with a Len method (bytes.Reader,
+// bytes.Buffer, strings.Reader) and seekable readers (os.File).
+func remainingInput(r io.Reader) (int64, bool) {
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		return int64(v.Len()), true
+	case io.Seeker:
+		pos, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return 0, false
+		}
+		end, err := v.Seek(0, io.SeekEnd)
+		if err != nil {
+			return 0, false
+		}
+		if _, err := v.Seek(pos, io.SeekStart); err != nil {
+			return 0, false
+		}
+		return end - pos, true
+	}
+	return 0, false
 }
 
 // WriteAreaFile writes g to path as an AREA file.

@@ -3,6 +3,9 @@ package ingest
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
+	"runtime"
+	"strings"
 	"testing"
 
 	"sma/internal/grid"
@@ -103,6 +106,68 @@ func TestAreaRejectsTruncatedData(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()-20]
 	if _, _, err := ReadArea(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated data accepted")
+	}
+}
+
+// opaqueReader hides the size of the underlying input (no Len, no Seek),
+// forcing ReadArea onto its incremental-allocation path.
+type opaqueReader struct{ r io.Reader }
+
+func (o opaqueReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+func TestAreaCorruptDirectoryCapsAllocation(t *testing.T) {
+	// A directory claiming 32768×32768×2 bytes (2 GiB) on a tiny input
+	// must fail before committing storage for the claimed size.
+	var words [64]int32
+	words[1] = 4
+	words[8] = 1 << 15 // lines
+	words[9] = 1 << 15 // elements
+	words[10] = 2
+	words[33] = 64 * 4
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, words[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(make([]byte, 64)) // a sliver of "data"
+	raw := buf.Bytes()
+
+	// Sized reader: rejected up front by the remaining-input cap.
+	if _, _, err := ReadArea(bytes.NewReader(raw)); err == nil {
+		t.Fatal("huge directory on sized reader accepted")
+	} else if !strings.Contains(err.Error(), "remain in the input") {
+		t.Fatalf("want remaining-input cap error, got: %v", err)
+	}
+
+	// Opaque stream: rejected at the first short row, with allocations
+	// bounded by the bytes actually supplied rather than the claimed size.
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, _, err := ReadArea(opaqueReader{bytes.NewReader(raw)}); err == nil {
+		t.Fatal("huge directory on opaque reader accepted")
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Fatalf("decoding a corrupt directory allocated %d bytes", grew)
+	}
+}
+
+func TestAreaOpaqueReaderStillDecodes(t *testing.T) {
+	g := synth.Hurricane(16, 12, 9).Frame(0)
+	var buf bytes.Buffer
+	if err := WriteArea(&buf, Directory{ByteDepth: 1}, g); err != nil {
+		t.Fatal(err)
+	}
+	sized, sg, err := ReadArea(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opaque, og, err := ReadArea(opaqueReader{bytes.NewReader(buf.Bytes())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized != opaque || !sg.Equal(og) {
+		t.Fatal("opaque-reader decode differs from sized-reader decode")
 	}
 }
 

@@ -7,18 +7,51 @@ import (
 	"sma/internal/grid"
 )
 
-// FuzzReadArea exercises the AREA decoder against malformed input: it
-// must return an error or a consistent grid, never panic.
-func FuzzReadArea(f *testing.F) {
-	// Seed with a valid little-endian file.
-	g := grid.New(3, 2)
-	g.ApplyXY(func(x, y int, _ float32) float32 { return float32(x + y) })
+// areaCorpus builds a valid round-trip AREA file for seeding the fuzzer.
+func areaCorpus(f *testing.F, w, h int, depth int32) []byte {
+	f.Helper()
+	g := grid.New(w, h)
+	g.ApplyXY(func(x, y int, _ float32) float32 { return float32(x + 7*y) })
 	var buf bytes.Buffer
-	if err := WriteArea(&buf, Directory{SensorID: 1, ByteDepth: 1}, g); err != nil {
+	if err := WriteArea(&buf, Directory{SensorID: 1, Date: 79255, Time: 170000, ByteDepth: depth}, g); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
-	f.Add(buf.Bytes()[:100])
+	return buf.Bytes()
+}
+
+// byteSwapped emulates a big-endian producer: every directory word and
+// (for depth-2 files) every 16-bit sample byte-reversed.
+func byteSwapped(le []byte, depth int) []byte {
+	be := make([]byte, len(le))
+	for i := 0; i+4 <= 64*4 && i+4 <= len(le); i += 4 {
+		be[i], be[i+1], be[i+2], be[i+3] = le[i+3], le[i+2], le[i+1], le[i]
+	}
+	for i := 64 * 4; i < len(le); i++ {
+		be[i] = le[i]
+	}
+	if depth == 2 {
+		for i := 64 * 4; i+2 <= len(le); i += 2 {
+			be[i], be[i+1] = le[i+1], le[i]
+		}
+	}
+	return be
+}
+
+// FuzzReadArea exercises the AREA decoder against malformed input: it
+// must return an error or a consistent grid, never panic and never
+// allocate storage for dimensions the input cannot back (the guard that
+// matters once AREA bytes arrive over HTTP in smaserve uploads).
+func FuzzReadArea(f *testing.F) {
+	// Valid round-trip corpora: 8- and 16-bit, little- and big-endian,
+	// plus truncation and an all-zero directory.
+	le8 := areaCorpus(f, 3, 2, 1)
+	le16 := areaCorpus(f, 5, 4, 2)
+	f.Add(le8)
+	f.Add(le16)
+	f.Add(byteSwapped(le8, 1))
+	f.Add(byteSwapped(le16, 2))
+	f.Add(le8[:100])
+	f.Add(le16[:64*4+3])
 	f.Add(make([]byte, 64*4))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, bg, err := ReadArea(bytes.NewReader(data))
@@ -27,6 +60,24 @@ func FuzzReadArea(f *testing.F) {
 		}
 		if bg == nil || bg.W != int(d.Elements) || bg.H != int(d.Lines) {
 			t.Fatalf("decoder returned inconsistent result: %+v vs %v", d, bg)
+		}
+		// Accepted inputs must round-trip: re-encode and re-decode to the
+		// same geometry with every sample surviving the quantization
+		// (counts in, counts out).
+		var buf bytes.Buffer
+		if err := WriteArea(&buf, Directory{ByteDepth: d.ByteDepth}, bg); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		d2, bg2, err := ReadArea(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded input failed: %v", err)
+		}
+		if d2.Lines != d.Lines || d2.Elements != d.Elements {
+			t.Fatalf("round trip changed geometry: %dx%d vs %dx%d",
+				d.Elements, d.Lines, d2.Elements, d2.Lines)
+		}
+		if bg2.W != bg.W || bg2.H != bg.H {
+			t.Fatalf("round trip changed grid size")
 		}
 	})
 }

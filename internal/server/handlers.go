@@ -1,0 +1,404 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sma/internal/core"
+	"sma/internal/grid"
+	"sma/internal/stream"
+)
+
+// TrackRequest is the JSON form of POST /v1/track: a synthetic dataset
+// reference standing in for an upload. (Uploads use multipart/form-data
+// with PGM or AREA files in fields i0 and i1 instead.)
+type TrackRequest struct {
+	Synthetic *SyntheticRef `json:"synthetic,omitempty"`
+	Params    ParamsSpec    `json:"params"`
+	Robust    bool          `json:"robust,omitempty"`
+	Format    string        `json:"format,omitempty"` // json (default) | binary
+}
+
+// JobRequest is the JSON form of POST /v1/jobs: an asynchronous
+// multi-frame sequence run on the streaming pipeline.
+type JobRequest struct {
+	Synthetic *SyntheticRef `json:"synthetic"`
+	Params    ParamsSpec    `json:"params"`
+	Robust    bool          `json:"robust,omitempty"`
+}
+
+// trackInput is a parsed track request, whichever wire form it arrived in.
+type trackInput struct {
+	pair   core.Pair
+	params core.Params
+	opt    core.Options
+	format string
+}
+
+func (s *Server) parseTrackRequest(r *http.Request) (trackInput, error) {
+	var in trackInput
+	ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil {
+		return in, fmt.Errorf("bad Content-Type: %w", err)
+	}
+	switch {
+	case ct == "application/json":
+		var req TrackRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return in, fmt.Errorf("bad JSON body: %w", err)
+		}
+		if req.Synthetic == nil {
+			return in, errors.New("JSON track requests need a synthetic dataset reference (or upload frames as multipart/form-data)")
+		}
+		scene, err := req.Synthetic.SceneOf()
+		if err != nil {
+			return in, err
+		}
+		t0 := req.Synthetic.T0
+		in.pair = core.Monocular(scene.Frame(float64(t0)), scene.Frame(float64(t0+1)))
+		in.params, err = req.Params.Resolve(s.cfg.DefaultParams)
+		if err != nil {
+			return in, err
+		}
+		in.opt = core.Options{Robust: req.Robust}
+		in.format = req.Format
+	case ct == "multipart/form-data":
+		if err := r.ParseMultipartForm(s.cfg.MaxBodyBytes); err != nil {
+			return in, fmt.Errorf("bad multipart body: %w", err)
+		}
+		i0, err := formImage(r, "i0")
+		if err != nil {
+			return in, err
+		}
+		i1, err := formImage(r, "i1")
+		if err != nil {
+			return in, err
+		}
+		in.pair = core.Monocular(i0, i1)
+		spec := ParamsSpec{
+			NS:  formInt(r, "ns"),
+			NZS: formInt(r, "nzs"),
+			NZT: formInt(r, "nzt"),
+			NST: formInt(r, "nst"),
+		}
+		if v := r.FormValue("nss"); v != "" {
+			nss, err := strconv.Atoi(v)
+			if err != nil {
+				return in, fmt.Errorf("bad nss %q", v)
+			}
+			spec.NSS = &nss
+		}
+		in.params, err = spec.Resolve(s.cfg.DefaultParams)
+		if err != nil {
+			return in, err
+		}
+		in.opt = core.Options{Robust: r.FormValue("robust") == "true"}
+		in.format = r.FormValue("format")
+	default:
+		return in, fmt.Errorf("unsupported Content-Type %q (want application/json or multipart/form-data)", ct)
+	}
+	if in.format == "" {
+		in.format = "json"
+	}
+	if in.format != "json" && in.format != "binary" {
+		return in, fmt.Errorf("unknown format %q (want json or binary)", in.format)
+	}
+	if err := in.pair.Validate(); err != nil {
+		return in, err
+	}
+	if px := in.pair.I0.W * in.pair.I0.H; px > s.cfg.MaxPixels {
+		return in, fmt.Errorf("frame area %d px exceeds the serving cap %d", px, s.cfg.MaxPixels)
+	}
+	return in, nil
+}
+
+func formInt(r *http.Request, key string) int {
+	n, err := strconv.Atoi(r.FormValue(key))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func formImage(r *http.Request, field string) (*grid.Grid, error) {
+	f, _, err := r.FormFile(field)
+	if err != nil {
+		return nil, fmt.Errorf("missing upload field %q: %w", field, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading upload %q: %w", field, err)
+	}
+	g, err := DecodeImage(data)
+	if err != nil {
+		return nil, fmt.Errorf("upload %q: %w", field, err)
+	}
+	return g, nil
+}
+
+func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
+	in, err := s.parseTrackRequest(r)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.TrackTimeout)
+	defer cancel()
+	res, code, err := s.runTrack(ctx, in.pair, in.params, in.opt)
+	if err != nil {
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			s.rejectSaturated(w, code)
+			return
+		}
+		s.httpError(w, code, err.Error())
+		return
+	}
+	s.metrics.AddWork(1, 2, 0)
+
+	id, err := s.storeTrack(res, in.pair.I0, in.params)
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	field := NewMotionField(id, res)
+	w.Header().Set("X-Sma-Track-Id", id)
+	switch in.format {
+	case "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := field.WriteBinary(w); err != nil {
+			s.cfg.Logf("smaserve: writing binary response: %v", err)
+		}
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		if err := writeJSON(w, field); err != nil {
+			s.cfg.Logf("smaserve: writing json response: %v", err)
+		}
+	}
+}
+
+// runTrack prepares and tracks one pair on the worker pool under the
+// request deadline. The returned int is the HTTP status on error.
+func (s *Server) runTrack(ctx context.Context, pair core.Pair, p core.Params, opt core.Options) (*core.Result, int, error) {
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	submitErr := s.pool.Submit(func(poolCtx context.Context) {
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stopWatch := context.AfterFunc(poolCtx, cancel)
+		defer stopWatch()
+		if err := runCtx.Err(); err != nil {
+			done <- outcome{err: err} // deadline passed while queued
+			return
+		}
+		prep, err := core.Prepare(pair, p)
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		sm := core.BuildSemiMap(prep)
+		res, err := core.TrackPreparedParallelCtx(runCtx, prep, sm, opt, s.rowWorkers)
+		done <- outcome{res: res, err: err}
+	})
+	switch {
+	case errors.Is(submitErr, ErrSaturated):
+		return nil, http.StatusTooManyRequests, submitErr
+	case errors.Is(submitErr, ErrShuttingDown):
+		return nil, http.StatusServiceUnavailable, submitErr
+	case submitErr != nil:
+		return nil, http.StatusInternalServerError, submitErr
+	}
+	select {
+	case out := <-done:
+		if out.err != nil {
+			if errors.Is(out.err, context.DeadlineExceeded) {
+				return nil, http.StatusGatewayTimeout, out.err
+			}
+			if errors.Is(out.err, context.Canceled) {
+				return nil, statusClientClosedRequest, out.err
+			}
+			return nil, http.StatusUnprocessableEntity, out.err
+		}
+		return out.res, http.StatusOK, nil
+	case <-ctx.Done():
+		// The task sees the same ctx and will abort on its own; free the
+		// handler now so slow tracks cannot pile up connections.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, http.StatusGatewayTimeout, ctx.Err()
+		}
+		return nil, statusClientClosedRequest, ctx.Err()
+	}
+}
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON body: %v", err))
+		return
+	}
+	if req.Synthetic == nil {
+		s.httpError(w, http.StatusBadRequest, "jobs need a synthetic dataset reference")
+		return
+	}
+	frames := req.Synthetic.Frames
+	if frames < 2 {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("need at least 2 frames, got %d", frames))
+		return
+	}
+	if frames > s.cfg.MaxFrames {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("%d frames exceeds the serving cap %d", frames, s.cfg.MaxFrames))
+		return
+	}
+	params, err := req.Params.Resolve(s.cfg.DefaultParams)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	src, err := jobSource(*req.Synthetic, frames)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if px := req.Synthetic.Size * req.Synthetic.Size; px > s.cfg.MaxPixels {
+		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("frame area %d px exceeds the serving cap %d", px, s.cfg.MaxPixels))
+		return
+	}
+
+	id, err := newID()
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	jobCtx, jobCancel := context.WithCancel(context.Background())
+	job := &Job{ID: id, status: JobQueued, created: time.Now(), frames: frames, cancel: jobCancel}
+	opt := core.Options{Robust: req.Robust}
+
+	submitErr := s.pool.Submit(func(poolCtx context.Context) {
+		s.runJob(poolCtx, jobCtx, job, src, params, opt)
+	})
+	if submitErr != nil {
+		jobCancel()
+		if errors.Is(submitErr, ErrSaturated) || errors.Is(submitErr, ErrShuttingDown) {
+			s.rejectSaturated(w, http.StatusServiceUnavailable)
+			return
+		}
+		s.httpError(w, http.StatusInternalServerError, submitErr.Error())
+		return
+	}
+	s.store.put(id, job)
+	s.metrics.JobTransition("created")
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	if err := writeJSON(w, job.View()); err != nil {
+		s.cfg.Logf("smaserve: writing job response: %v", err)
+	}
+}
+
+// runJob executes one multi-frame job on the streaming pipeline inside a
+// pool slot. Cancellation arrives three ways — explicit DELETE, the job
+// timeout, and a forced shutdown drain — all merged into one context.
+func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.Source, p core.Params, opt core.Options) {
+	ctx, cancel := context.WithTimeout(jobCtx, s.cfg.JobTimeout)
+	defer cancel()
+	stopWatch := context.AfterFunc(poolCtx, cancel)
+	defer stopWatch()
+
+	job.mu.Lock()
+	if err := ctx.Err(); err != nil {
+		// Cancelled while queued.
+		job.status = JobCancelled
+		job.finished = time.Now()
+		job.mu.Unlock()
+		s.metrics.JobTransition(string(JobCancelled))
+		return
+	}
+	job.status = JobRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	st, err := stream.StreamCtx(ctx, src, stream.Config{
+		Params:     p,
+		Options:    opt,
+		Workers:    1, // the pool slot is the unit of concurrency
+		RowWorkers: s.rowWorkers,
+	}, func(pair int, res *core.Result) error {
+		job.mu.Lock()
+		job.pairs = append(job.pairs, PairSummary{Pair: pair, MeanMag: res.Flow.MeanMagnitude()})
+		job.mu.Unlock()
+		return nil
+	})
+
+	job.mu.Lock()
+	job.stats = st
+	job.finished = time.Now()
+	switch {
+	case err == nil:
+		job.status = JobDone
+	case errors.Is(err, context.Canceled):
+		job.status = JobCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		job.status = JobFailed
+		job.errMsg = fmt.Sprintf("job exceeded its %v deadline", s.cfg.JobTimeout)
+	default:
+		job.status = JobFailed
+		job.errMsg = err.Error()
+	}
+	status := job.status
+	job.mu.Unlock()
+	s.metrics.JobTransition(string(status))
+	s.metrics.AddWork(st.PairsTracked, st.FitsComputed, st.FitsReused)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.store.get(r.PathValue("id"))
+	job, isJob := v.(*Job)
+	if !ok || !isJob {
+		s.httpError(w, http.StatusNotFound, "unknown or expired job id")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := writeJSON(w, job.View()); err != nil {
+		s.cfg.Logf("smaserve: writing job view: %v", err)
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.store.get(r.PathValue("id"))
+	job, isJob := v.(*Job)
+	if !ok || !isJob {
+		s.httpError(w, http.StatusNotFound, "unknown or expired job id")
+		return
+	}
+	if !job.Cancel() {
+		s.httpError(w, http.StatusConflict, fmt.Sprintf("job is %s; nothing to cancel", job.View().Status))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := writeJSON(w, job.View()); err != nil {
+		s.cfg.Logf("smaserve: writing job view: %v", err)
+	}
+}
+
+// contentTypeIsJSON is a small helper for tests.
+func contentTypeIsJSON(h http.Header) bool {
+	return strings.HasPrefix(h.Get("Content-Type"), "application/json")
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// durationBuckets are the request-latency histogram bounds in seconds,
+// the usual two-orders-of-magnitude Prometheus ladder around tracking
+// latencies (milliseconds for small frames, seconds at paper scale).
+var durationBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// numBuckets must match len(durationBuckets); histogram carries one extra
+// slot for +Inf.
+const numBuckets = 12
+
+// histogram is a fixed-bucket latency histogram (cumulative on scrape,
+// per Prometheus convention).
+type histogram struct {
+	counts [numBuckets + 1]uint64 // one per bucket plus +Inf
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(sec float64) {
+	i := sort.SearchFloat64s(durationBuckets, sec)
+	h.counts[i]++
+	h.sum += sec
+	h.total++
+}
+
+// Metrics is the hand-rolled instrumentation registry smaserve exposes in
+// Prometheus text format on /metrics. Everything is stdlib: counters and
+// gauges under one mutex, scraped rarely relative to the request rate.
+type Metrics struct {
+	mu       sync.Mutex
+	started  time.Time
+	requests map[string]uint64     // "route|code" → count
+	byRoute  map[string]*histogram // route → latency histogram
+	jobs     map[string]uint64     // job status transitions
+	rejected uint64                // admission-queue rejections
+	panics   uint64                // recovered handler panics
+	inflight int64                 // requests currently being served
+	evicted  uint64                // stored results dropped by TTL
+
+	// Pipeline work counters accumulated across all jobs and tracks.
+	pairsTracked uint64
+	fitsComputed uint64
+	fitsReused   uint64
+
+	// queueDepth and queueCap are read at scrape time from the pool.
+	queueDepth func() int
+	queueCap   int
+	workers    int
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		started:  time.Now(),
+		requests: make(map[string]uint64),
+		byRoute:  make(map[string]*histogram),
+		jobs:     make(map[string]uint64),
+	}
+}
+
+// ObserveRequest records one served request.
+func (m *Metrics) ObserveRequest(route string, code int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%s|%d", route, code)]++
+	h := m.byRoute[route]
+	if h == nil {
+		h = &histogram{}
+		m.byRoute[route] = h
+	}
+	h.observe(dur.Seconds())
+}
+
+// JobTransition counts a job lifecycle event (created, done, failed,
+// cancelled).
+func (m *Metrics) JobTransition(status string) {
+	m.mu.Lock()
+	m.jobs[status]++
+	m.mu.Unlock()
+}
+
+// Rejected counts one admission rejection (queue saturated).
+func (m *Metrics) Rejected() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// Panicked counts one recovered handler panic.
+func (m *Metrics) Panicked() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// Evicted counts stored results dropped by TTL expiry.
+func (m *Metrics) Evicted(n int) {
+	m.mu.Lock()
+	m.evicted += uint64(n)
+	m.mu.Unlock()
+}
+
+// InflightAdd moves the in-flight request gauge.
+func (m *Metrics) InflightAdd(d int64) {
+	m.mu.Lock()
+	m.inflight += d
+	m.mu.Unlock()
+}
+
+// AddWork accumulates pipeline work counters from a finished track or job.
+func (m *Metrics) AddWork(pairs, fitsComputed, fitsReused int64) {
+	m.mu.Lock()
+	m.pairsTracked += uint64(pairs)
+	m.fitsComputed += uint64(fitsComputed)
+	m.fitsReused += uint64(fitsReused)
+	m.mu.Unlock()
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteTo renders the registry in Prometheus text exposition format
+// (version 0.0.4), with label sets sorted for stable scrapes.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b countingWriter
+	b.w = w
+
+	writeHeader(&b, "smaserve_http_requests_total", "Served HTTP requests by route and status code.", "counter")
+	for _, k := range sortedKeys(m.requests) {
+		route, code, _ := strings.Cut(k, "|")
+		fmt.Fprintf(&b, "smaserve_http_requests_total{route=%q,code=%q} %d\n", route, code, m.requests[k])
+	}
+
+	writeHeader(&b, "smaserve_http_request_duration_seconds", "Request latency by route.", "histogram")
+	for _, route := range sortedKeys(m.byRoute) {
+		h := m.byRoute[route]
+		var cum uint64
+		for i, ub := range durationBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "smaserve_http_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", route, ub, cum)
+		}
+		cum += h.counts[len(durationBuckets)]
+		fmt.Fprintf(&b, "smaserve_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
+		fmt.Fprintf(&b, "smaserve_http_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(&b, "smaserve_http_request_duration_seconds_count{route=%q} %d\n", route, h.total)
+	}
+
+	writeHeader(&b, "smaserve_jobs_total", "Job lifecycle transitions by status.", "counter")
+	for _, k := range sortedKeys(m.jobs) {
+		fmt.Fprintf(&b, "smaserve_jobs_total{status=%q} %d\n", k, m.jobs[k])
+	}
+
+	writeHeader(&b, "smaserve_admission_rejected_total", "Requests rejected because the admission queue was full.", "counter")
+	fmt.Fprintf(&b, "smaserve_admission_rejected_total %d\n", m.rejected)
+
+	writeHeader(&b, "smaserve_handler_panics_total", "Handler panics recovered into 500 responses.", "counter")
+	fmt.Fprintf(&b, "smaserve_handler_panics_total %d\n", m.panics)
+
+	writeHeader(&b, "smaserve_results_evicted_total", "Stored results dropped by TTL expiry.", "counter")
+	fmt.Fprintf(&b, "smaserve_results_evicted_total %d\n", m.evicted)
+
+	writeHeader(&b, "smaserve_pairs_tracked_total", "Motion-field pairs computed across all requests and jobs.", "counter")
+	fmt.Fprintf(&b, "smaserve_pairs_tracked_total %d\n", m.pairsTracked)
+	writeHeader(&b, "smaserve_frame_fits_computed_total", "Frame surface fits computed (stream cache misses).", "counter")
+	fmt.Fprintf(&b, "smaserve_frame_fits_computed_total %d\n", m.fitsComputed)
+	writeHeader(&b, "smaserve_frame_fits_reused_total", "Frame surface fits reused from the stream cache.", "counter")
+	fmt.Fprintf(&b, "smaserve_frame_fits_reused_total %d\n", m.fitsReused)
+
+	writeHeader(&b, "smaserve_inflight_requests", "Requests currently being served.", "gauge")
+	fmt.Fprintf(&b, "smaserve_inflight_requests %d\n", m.inflight)
+
+	if m.queueDepth != nil {
+		writeHeader(&b, "smaserve_admission_queue_depth", "Tasks waiting in the admission queue.", "gauge")
+		fmt.Fprintf(&b, "smaserve_admission_queue_depth %d\n", m.queueDepth())
+		writeHeader(&b, "smaserve_admission_queue_capacity", "Admission queue capacity.", "gauge")
+		fmt.Fprintf(&b, "smaserve_admission_queue_capacity %d\n", m.queueCap)
+		writeHeader(&b, "smaserve_worker_pool_size", "Tracking worker goroutines.", "gauge")
+		fmt.Fprintf(&b, "smaserve_worker_pool_size %d\n", m.workers)
+	}
+
+	writeHeader(&b, "smaserve_uptime_seconds", "Seconds since the server started.", "gauge")
+	fmt.Fprintf(&b, "smaserve_uptime_seconds %g\n", time.Since(m.started).Seconds())
+	return b.n, b.err
+}
+
+// countingWriter tracks bytes written and the first error so WriteTo can
+// satisfy io.WriterTo without error-checking every Fprintf.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrSaturated is returned by Pool.Submit when the bounded admission
+// queue is full — the backpressure signal handlers convert into
+// 429/503 + Retry-After instead of queueing unboundedly.
+var ErrSaturated = errors.New("server: admission queue saturated")
+
+// ErrShuttingDown is returned by Pool.Submit once shutdown has begun.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// Pool is the tracking worker pool behind every compute endpoint: a
+// bounded admission queue drained by a fixed set of workers. The queue
+// bound is the server's whole memory story — requests either get a slot
+// or are rejected immediately; nothing accumulates.
+type Pool struct {
+	tasks chan func(ctx context.Context)
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// forceCtx is cancelled only when a graceful drain exceeds its
+	// deadline; tasks receive it so shutdown can escalate from "finish
+	// your work" to "abort now".
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+
+	workers int
+}
+
+// NewPool starts workers goroutines draining a queue of the given depth.
+// workers <= 0 defaults to GOMAXPROCS; depth <= 0 defaults to 2×workers.
+func NewPool(workers, depth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 2 * workers
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		tasks:       make(chan func(ctx context.Context), depth),
+		forceCtx:    ctx,
+		forceCancel: cancel,
+		workers:     workers,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task(p.forceCtx)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Cap reports the admission queue capacity.
+func (p *Pool) Cap() int { return cap(p.tasks) }
+
+// Depth reports how many admitted tasks are waiting for a worker.
+func (p *Pool) Depth() int { return len(p.tasks) }
+
+// Submit admits run into the queue without blocking. It returns
+// ErrSaturated when the queue is full and ErrShuttingDown after Shutdown
+// has begun. run receives a context that is live for the task's whole
+// duration and cancelled only if a shutdown drain runs out of patience.
+func (p *Pool) Submit(run func(ctx context.Context)) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case p.tasks <- run:
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// Shutdown stops intake and drains: queued and in-flight tasks keep
+// running until done or until ctx expires, at which point the tasks'
+// context is cancelled and the drain waits for the (now aborting) tasks
+// to unwind. Returns ctx.Err() if the deadline forced an abort.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		p.forceCancel() // release the watcher context
+		return nil
+	case <-ctx.Done():
+		p.forceCancel() // escalate: abort in-flight tasks
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"sma/internal/core"
+	"sma/internal/grid"
+	"sma/internal/stream"
+)
+
+// newID returns a 16-hex-char random identifier for tracks and jobs.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: id generation: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// TrackResult is a stored synchronous tracking outcome: the motion field
+// plus the first input frame, kept so GET /v1/track/{id}/svg can render
+// vectors over the imagery they were tracked on.
+type TrackResult struct {
+	ID         string
+	Res        *core.Result
+	Background *grid.Grid
+	Params     core.Params
+	Created    time.Time
+}
+
+// JobStatus is a job lifecycle state.
+type JobStatus string
+
+const (
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
+)
+
+// PairSummary is the per-pair digest a job retains: full motion fields of
+// long sequences would pin unbounded memory, so jobs keep the scalar
+// summary and per-job stream.Stats instead.
+type PairSummary struct {
+	Pair    int     `json:"pair"`
+	MeanMag float64 `json:"mean_magnitude_px"`
+}
+
+// Job is one asynchronous multi-frame tracking run executed on the
+// streaming pipeline.
+type Job struct {
+	ID string
+
+	mu       sync.Mutex
+	status   JobStatus
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	frames   int
+	stats    stream.Stats
+	pairs    []PairSummary
+	errMsg   string
+	cancel   context.CancelFunc
+}
+
+// JobView is the JSON-serializable snapshot GET /v1/jobs/{id} returns.
+type JobView struct {
+	ID         string        `json:"id"`
+	Status     JobStatus     `json:"status"`
+	Frames     int           `json:"frames"`
+	Created    time.Time     `json:"created"`
+	Started    *time.Time    `json:"started,omitempty"`
+	Finished   *time.Time    `json:"finished,omitempty"`
+	ElapsedSec float64       `json:"elapsed_sec,omitempty"`
+	Stats      stream.Stats  `json:"stats"`
+	Pairs      []PairSummary `json:"pairs,omitempty"`
+	Error      string        `json:"error,omitempty"`
+}
+
+// View snapshots the job under its lock.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.ID,
+		Status:  j.status,
+		Frames:  j.frames,
+		Created: j.created,
+		Stats:   j.stats,
+		Pairs:   append([]PairSummary(nil), j.pairs...),
+		Error:   j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.ElapsedSec = end.Sub(j.started).Seconds()
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Cancel requests cancellation of a queued or running job. It reports
+// whether the job was still cancellable.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != JobQueued && j.status != JobRunning {
+		return false
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// ttlEntry wraps a stored value with its expiry.
+type ttlEntry struct {
+	val     any
+	expires time.Time
+}
+
+// ttlStore is the in-memory result/job store with TTL eviction: a mutex
+// map swept periodically plus expiry checks on access, so completed
+// results are retrievable for a bounded window and memory cannot grow
+// with traffic history.
+type ttlStore struct {
+	mu      sync.Mutex
+	m       map[string]ttlEntry
+	ttl     time.Duration
+	stop    chan struct{}
+	stopped sync.Once
+	onEvict func(n int)
+}
+
+// newTTLStore starts a store whose entries live for ttl. onEvict (may be
+// nil) is told how many entries each sweep dropped.
+func newTTLStore(ttl time.Duration, onEvict func(n int)) *ttlStore {
+	s := &ttlStore{
+		m:       make(map[string]ttlEntry),
+		ttl:     ttl,
+		stop:    make(chan struct{}),
+		onEvict: onEvict,
+	}
+	sweep := ttl / 4
+	if sweep < time.Second {
+		sweep = time.Second
+	}
+	go func() {
+		t := time.NewTicker(sweep)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.sweep(time.Now())
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *ttlStore) sweep(now time.Time) {
+	s.mu.Lock()
+	n := 0
+	for k, e := range s.m {
+		if now.After(e.expires) {
+			delete(s.m, k)
+			n++
+		}
+	}
+	cb := s.onEvict
+	s.mu.Unlock()
+	if n > 0 && cb != nil {
+		cb(n)
+	}
+}
+
+func (s *ttlStore) put(id string, v any) {
+	s.mu.Lock()
+	s.m[id] = ttlEntry{val: v, expires: time.Now().Add(s.ttl)}
+	s.mu.Unlock()
+}
+
+func (s *ttlStore) get(id string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
+	if !ok || time.Now().After(e.expires) {
+		return nil, false
+	}
+	return e.val, true
+}
+
+func (s *ttlStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func (s *ttlStore) close() {
+	s.stopped.Do(func() { close(s.stop) })
+}

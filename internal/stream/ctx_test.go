@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"sma/internal/core"
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+// ctxTestFrames renders a hurricane sequence sized so each pair costs a
+// measurable amount of tracking work.
+func ctxTestFrames(t *testing.T, n, size int) []*grid.Grid {
+	t.Helper()
+	scene := synth.Hurricane(size, size, 7)
+	frames := make([]*grid.Grid, n)
+	for i := range frames {
+		frames[i] = scene.Frame(float64(i))
+	}
+	return frames
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (with a small slack for runtime helpers), failing the test if
+// it never does — the leak detector for cancelled pipelines.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancellation: %d running, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamCtxCancelMidRun cancels a multi-frame run after the first
+// emitted pair: the pipeline must return promptly with ctx.Err(), leak no
+// goroutines, and report counters consistent with the truncated run.
+func TestStreamCtxCancelMidRun(t *testing.T) {
+	frames := ctxTestFrames(t, 10, 48)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	var cancelledAt time.Time
+	st, err := StreamCtx(ctx, Grids(frames), Config{
+		Params:  core.ScaledParams(),
+		Workers: 2,
+	}, func(pair int, res *core.Result) error {
+		if res == nil || res.Flow == nil {
+			t.Errorf("pair %d: nil result delivered", pair)
+		}
+		emitted++
+		if emitted == 1 {
+			cancelledAt = time.Now()
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(cancelledAt); waited > 5*time.Second {
+		t.Fatalf("cancellation took %v to unwind", waited)
+	}
+	if st.PairsTracked != int64(emitted) {
+		t.Errorf("PairsTracked = %d, want the %d emitted pairs", st.PairsTracked, emitted)
+	}
+	if st.PairsTracked >= int64(len(frames)-1) {
+		t.Errorf("PairsTracked = %d: cancellation did not truncate the %d-pair run", st.PairsTracked, len(frames)-1)
+	}
+	if st.FramesIn > int64(len(frames)) {
+		t.Errorf("FramesIn = %d > %d frames", st.FramesIn, len(frames))
+	}
+	if st.FitsComputed > st.FramesIn {
+		t.Errorf("FitsComputed = %d > FramesIn = %d: some frame fitted twice", st.FitsComputed, st.FramesIn)
+	}
+	if st.FitsComputed+st.FitsReused < 2*st.PairsTracked {
+		t.Errorf("fit lookups %d+%d cannot cover %d tracked pairs",
+			st.FitsComputed, st.FitsReused, st.PairsTracked)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestStreamCtxPreCancelled starts from an already-cancelled context: no
+// pair may be emitted and the error must be ctx.Err().
+func TestStreamCtxPreCancelled(t *testing.T) {
+	frames := ctxTestFrames(t, 4, 24)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := StreamCtx(ctx, Grids(frames), Config{Params: core.ScaledParams()},
+		func(pair int, res *core.Result) error {
+			t.Errorf("pair %d emitted after pre-cancellation", pair)
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.PairsTracked != 0 {
+		t.Errorf("PairsTracked = %d, want 0", st.PairsTracked)
+	}
+}
+
+// TestStreamCtxDeadline exercises the timeout form: a deadline far shorter
+// than the run must surface context.DeadlineExceeded promptly.
+func TestStreamCtxDeadline(t *testing.T) {
+	frames := ctxTestFrames(t, 10, 48)
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := RunCtx(ctx, Grids(frames), Config{Params: core.ScaledParams(), Workers: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline run took %v to unwind", elapsed)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestRunCtxMatchesRun locks the ctx plumbing to the uncancelled
+// fast path: a background-context run must stay bit-identical to Run.
+func TestRunCtxMatchesRun(t *testing.T) {
+	frames := ctxTestFrames(t, 4, 24)
+	cfg := Config{Params: core.ScaledParams(), Workers: 2, RowWorkers: 2}
+	want, wantSt, err := Run(Grids(frames), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotSt, err := RunCtx(context.Background(), Grids(frames), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Flow.Equal(want[i].Flow) || !got[i].Err.Equal(want[i].Err) {
+			t.Errorf("pair %d differs between Run and RunCtx", i)
+		}
+	}
+	if gotSt != wantSt {
+		t.Errorf("stats differ: %+v vs %+v", gotSt, wantSt)
+	}
+}
+
+// TestTrackPreparedParallelCtxCancel verifies the core-level cancellation
+// point directly: a cancelled context aborts the row sweep and returns
+// (nil, ctx.Err()).
+func TestTrackPreparedParallelCtxCancel(t *testing.T) {
+	frames := ctxTestFrames(t, 2, 48)
+	p := core.ScaledParams()
+	prep, err := core.Prepare(core.Monocular(frames[0], frames[1]), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := core.BuildSemiMap(prep)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := core.TrackPreparedParallelCtx(ctx, prep, sm, core.Options{}, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("partial result returned alongside cancellation error")
+	}
+}

@@ -15,6 +15,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -84,7 +85,21 @@ type pairResult struct {
 // Each delivered Result is bit-identical to core.TrackSequential on the
 // corresponding pair.
 func Stream(src Source, cfg Config, emit func(pair int, res *core.Result) error) (Stats, error) {
+	return StreamCtx(context.Background(), src, cfg, emit)
+}
+
+// StreamCtx is Stream with cooperative cancellation: when ctx is
+// cancelled the producer stops assembling pairs, in-flight trackers abort
+// at their next row boundary, no further pairs are emitted, and the call
+// returns ctx.Err() promptly with every pipeline goroutine drained. The
+// Stats are consistent for the truncated run — PairsTracked counts
+// exactly the pairs emitted before cancellation. This is the cancellation
+// surface a serving deadline or a client disconnect threads down through.
+func StreamCtx(ctx context.Context, src Source, cfg Config, emit func(pair int, res *core.Result) error) (Stats, error) {
 	var st Stats
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if src == nil {
 		return st, fmt.Errorf("stream: nil source")
 	}
@@ -119,6 +134,16 @@ func Stream(src Source, cfg Config, emit func(pair int, res *core.Result) error)
 	var stopOnce sync.Once
 	cancel := func() { stopOnce.Do(func() { close(stop) }) }
 
+	// Context watcher: translates ctx cancellation into the pipeline's
+	// internal stop signal. Exits with the run (cancel() closes stop).
+	go func() {
+		select {
+		case <-ctx.Done():
+			cancel()
+		case <-stop:
+		}
+	}()
+
 	// Producer: reads frames in order, prepares each exactly once through
 	// the LRU, assembles adjacent pairs and feeds the workers. The jobs
 	// channel's capacity is the backpressure bound — when the trackers
@@ -136,11 +161,17 @@ func Stream(src Source, cfg Config, emit func(pair int, res *core.Result) error)
 			defer wg.Done()
 			for job := range jobs {
 				sm := core.BuildSemiMap(job.prep)
-				var res *core.Result
-				if cfg.RowWorkers > 1 {
-					res = core.TrackPreparedParallel(job.prep, sm, cfg.Options, cfg.RowWorkers)
-				} else {
-					res = core.TrackPrepared(job.prep, sm, cfg.Options)
+				rowWorkers := cfg.RowWorkers
+				if rowWorkers < 1 {
+					rowWorkers = 1
+				}
+				// The ctx-aware driver aborts at row granularity when the
+				// run is cancelled; completed pairs are bit-identical to
+				// TrackPrepared at every row-worker count.
+				res, err := core.TrackPreparedParallelCtx(ctx, job.prep, sm, cfg.Options, rowWorkers)
+				if err != nil {
+					cancel()
+					return
 				}
 				select {
 				case results <- pairResult{index: job.index, res: res}:
@@ -164,6 +195,13 @@ func Stream(src Source, cfg Config, emit func(pair int, res *core.Result) error)
 		if emitErr != nil {
 			continue // draining after cancel
 		}
+		select {
+		case <-stop:
+			// Cancelled (ctx or emit error elsewhere): keep draining so the
+			// workers can exit, but emit no further pairs.
+			continue
+		default:
+		}
 		pending[r.index] = r.res
 		for {
 			res, ok := pending[next]
@@ -184,6 +222,9 @@ func Stream(src Source, cfg Config, emit func(pair int, res *core.Result) error)
 	cancel()
 	if emitErr != nil {
 		return st, emitErr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return st, cerr
 	}
 	return st, err
 }
@@ -252,8 +293,13 @@ func framePrep(cache *lru, i int, f core.Frame, p core.Params, st *Stats) (*core
 // Run streams the whole source and returns the FramesIn−1 pair results in
 // order: Run(...)[i] tracks frames i→i+1.
 func Run(src Source, cfg Config) ([]*core.Result, Stats, error) {
+	return RunCtx(context.Background(), src, cfg)
+}
+
+// RunCtx is Run with cooperative cancellation (see StreamCtx).
+func RunCtx(ctx context.Context, src Source, cfg Config) ([]*core.Result, Stats, error) {
 	var out []*core.Result
-	st, err := Stream(src, cfg, func(_ int, res *core.Result) error {
+	st, err := StreamCtx(ctx, src, cfg, func(_ int, res *core.Result) error {
 		out = append(out, res)
 		return nil
 	})

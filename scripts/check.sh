@@ -35,6 +35,12 @@ echo "== stream throughput smoke"
 go run ./cmd/smabench -only stream -size 32 -frames 4 \
     -bench-out /tmp/BENCH_stream.json || fail=1
 
+# End-to-end smoke of the HTTP serving layer (docs/SERVER.md): real
+# smaserve process, verified concurrent load, metrics scrape, graceful
+# SIGTERM drain.
+echo "== serve smoke"
+sh scripts/serve_smoke.sh || fail=1
+
 if [ "$fail" -ne 0 ]; then
     echo "check: FAILED"
     exit 1
