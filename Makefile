@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet smavet race fuzz-smoke fmt serve-smoke
+.PHONY: all build test check vet smavet race fuzz-smoke fmt serve-smoke chaos-smoke
 
 all: build
 
@@ -44,6 +44,12 @@ fuzz-smoke:
 # smaload, metrics scrape, graceful SIGTERM drain (docs/SERVER.md).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# chaos-smoke: end-to-end chaos test of the fault-tolerant serving path —
+# real smaserve process driven through seeded fault schedules by
+# smachaos, asserting the degraded-mode contract (docs/ROBUSTNESS.md).
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 fmt:
 	gofmt -w .

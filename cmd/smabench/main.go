@@ -23,7 +23,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smabench: ")
 	var (
-		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,stream,serve")
+		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,stream,serve,chaos")
 		size     = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
 		seed     = flag.Int64("seed", 5, "scene seed for the functional experiments")
 		report   = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
@@ -33,6 +33,7 @@ func main() {
 		requests = flag.Int("requests", 24, "request count for the serve benchmark")
 		clients  = flag.Int("clients", 8, "concurrent clients for the serve benchmark")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "where the serve benchmark writes its latency trajectory point")
+		chaosOut = flag.String("chaos-out", "BENCH_chaos.json", "where the chaos experiment writes its robustness trajectory point")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -241,6 +242,36 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  wrote %s\n\n", *serveOut)
+	}
+	if run("chaos") {
+		frames := *frames
+		if frames < 8 {
+			frames = 8
+		}
+		r, err := eval.FaultToleranceExperiment(*size, frames, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Fault tolerance — degraded-mode streaming under a seeded fault schedule")
+		fmt.Printf("  %d frames at %d×%d: %d fail, %d flaky, %d damaged (seed %d)\n",
+			r.Frames, r.Size, r.Size, r.FailFrames, r.FlakyFrames, r.DamageFrames, r.Seed)
+		fmt.Printf("  retries %d, frames skipped %d, pairs skipped %d, gaps %d — counters exact: %v\n",
+			r.Retries, r.FramesSkipped, r.PairsSkipped, r.Gaps, r.CountersExact)
+		fmt.Printf("  %d surviving pairs bit-identical to the undamaged run: %v\n",
+			r.SurvivingPairs, r.BitIdentical)
+		fmt.Printf("  clean %.3fs   degraded %.3fs   overhead %.1f%%\n",
+			r.CleanSec, r.DegradedSec, r.OverheadPct)
+		f, err := os.Create(*chaosOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n\n", *chaosOut)
 	}
 	if run("ablation") {
 		fmt.Println("Ablation — neighborhood fetch design (§3.2/§4.2), 121×121 template at paper scale")

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"sma/internal/grid"
+)
+
+// QualityGate is the frame admission policy of a degraded-mode run: how
+// much pixel damage (NaN/Inf samples, dead scanlines) a frame may carry
+// before it is rejected rather than allowed to poison the surface fits.
+// Real feeds (dropped GOES scan lines, calibration glitches) make damaged
+// frames the normal case; the gate turns them into explicit, skippable
+// errors at the pipeline's edge instead of silent NaN propagation through
+// a million Gaussian eliminations.
+//
+// The zero value is the strictest gate: any non-finite sample or dead
+// scanline rejects the frame. Raise the thresholds to tolerate a damage
+// budget; set a fraction to 1 (or more) to disable that check entirely.
+type QualityGate struct {
+	// MaxBadFrac is the tolerated fraction of NaN/Inf samples per image.
+	MaxBadFrac float64
+	// MaxDeadLineFrac is the tolerated fraction of dead (constant) rows.
+	MaxDeadLineFrac float64
+}
+
+// DamageError reports why a frame failed the gate. It wraps the per-image
+// damage reports so callers (and operators reading job errors) see what
+// was wrong, not just that something was.
+type DamageError struct {
+	Image  string // which image failed: "intensity", "surface", "channel N"
+	Report grid.DamageReport
+	Gate   QualityGate
+}
+
+func (e *DamageError) Error() string {
+	return fmt.Sprintf("core: damaged %s image: %d/%d non-finite samples, %d/%d dead scanlines (gate: %.3g, %.3g)",
+		e.Image, e.Report.BadPixels, e.Report.Pixels, e.Report.DeadLines, e.Report.Lines,
+		e.Gate.MaxBadFrac, e.Gate.MaxDeadLineFrac)
+}
+
+// Check scans every image of the frame against the gate, returning a
+// *DamageError for the first image over threshold and nil for acceptable
+// frames. The surface image is scanned only when it is distinct from the
+// intensity image (monocular frames alias the two).
+func (g QualityGate) Check(f Frame) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if err := g.checkImage("intensity", f.I); err != nil {
+		return err
+	}
+	if z := f.Surface(); z != f.I {
+		if err := g.checkImage("surface", z); err != nil {
+			return err
+		}
+	}
+	for i, c := range f.Extra {
+		if err := g.checkImage(fmt.Sprintf("channel %d", i), c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g QualityGate) checkImage(name string, img *grid.Grid) error {
+	r := grid.ScanDamage(img)
+	if r.BadFrac() > g.MaxBadFrac || r.DeadLineFrac() > g.MaxDeadLineFrac {
+		return &DamageError{Image: name, Report: r, Gate: g}
+	}
+	return nil
+}

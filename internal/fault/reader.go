@@ -1,0 +1,44 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+)
+
+// ReaderFault schedules one byte-level fault: after Offset bytes have
+// been delivered, every further Read returns Err (nil Err injects
+// io.ErrUnexpectedEOF — a truncated file). This is the knife for the
+// format readers (grid.ReadPGM, ingest.ReadArea): it turns "the feed
+// died mid-frame" into a reproducible unit test.
+type ReaderFault struct {
+	Offset int64
+	Err    error
+}
+
+// Reader wraps r with a byte-offset fault schedule.
+type Reader struct {
+	r     io.Reader
+	fault ReaderFault
+	off   int64
+}
+
+// WrapReader returns r truncated/failed at the fault's offset.
+func WrapReader(r io.Reader, f ReaderFault) *Reader {
+	if f.Err == nil {
+		f.Err = fmt.Errorf("%w: %w", ErrInjected, io.ErrUnexpectedEOF)
+	}
+	return &Reader{r: r, fault: f}
+}
+
+func (t *Reader) Read(p []byte) (int, error) {
+	remain := t.fault.Offset - t.off
+	if remain <= 0 {
+		return 0, t.fault.Err
+	}
+	if int64(len(p)) > remain {
+		p = p[:remain]
+	}
+	n, err := t.r.Read(p)
+	t.off += int64(n)
+	return n, err
+}

@@ -2,8 +2,36 @@ package grid
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 )
+
+// validPGM renders a deterministic w×h image through WritePGM — a
+// genuine 8-bit corpus entry, not a hand-typed approximation.
+func validPGM(w, h int) []byte {
+	g := New(w, h)
+	for i := range g.Data {
+		g.Data[i] = float32(i % 251)
+	}
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// validPGM16 hand-assembles a 16-bit (maxval 65535) P5 document, which
+// WritePGM never emits.
+func validPGM16(w, h int) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "P5\n%d %d\n65535\n", w, h)
+	for i := 0; i < w*h; i++ {
+		v := uint16(i * 257)
+		buf.WriteByte(byte(v >> 8))
+		buf.WriteByte(byte(v))
+	}
+	return buf.Bytes()
+}
 
 // FuzzReadPGM exercises the PGM parser against malformed input: it must
 // return an error or a well-formed grid, never panic or allocate absurdly.
@@ -15,6 +43,15 @@ func FuzzReadPGM(f *testing.F) {
 	f.Add([]byte("P5\n# comment\n2 2\n255\nabcd"))
 	f.Add([]byte("P7\n2 2\n255\nabcd"))
 	f.Add([]byte("P5\n999999 999999\n255\n"))
+	// Genuine 8- and 16-bit corpora plus their truncations, so the fuzzer
+	// starts from the shapes the incremental row decoder actually walks.
+	full8 := validPGM(7, 5)
+	full16 := validPGM16(6, 4)
+	f.Add(full8)
+	f.Add(full16)
+	f.Add(full8[:len(full8)-3])                // body cut mid-row
+	f.Add(full16[:len(full16)-1])              // body cut mid-sample
+	f.Add([]byte("P5\n4096 4096\n255\nshort")) // header claims far more than the input holds
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadPGM(bytes.NewReader(data))
 		if err != nil {

@@ -86,9 +86,32 @@ func ReadPGM(r io.Reader) (*Grid, error) {
 	if w > maxPixels/h {
 		return nil, fmt.Errorf("grid: PGM dimensions %dx%d exceed the %d-pixel limit", w, h, maxPixels)
 	}
-	g := New(w, h)
+	bytesPerSample := 1
+	if maxval >= 256 {
+		bytesPerSample = 2
+	}
+	// The header is untrusted input (PGM bytes arrive over HTTP in
+	// smaserve uploads): before allocating W×H storage, cap the claimed
+	// body size against what the input can actually supply. Bytes already
+	// buffered by br count as available.
+	if magic == "P5" {
+		need := int64(w) * int64(h) * int64(bytesPerSample)
+		if rem, known := remainingInput(r); known && need > rem+int64(br.Buffered()) {
+			return nil, fmt.Errorf("grid: PGM header claims %dx%d×%d = %d body bytes but only %d remain in the input",
+				w, h, bytesPerSample, need, rem+int64(br.Buffered()))
+		}
+	}
+	// Decode row by row into storage that grows with the data actually
+	// read: even when the input size is unknowable (a pure stream), a
+	// corrupt header fails at its first short row having allocated at most
+	// ~2× the bytes that really arrived, never the claimed total.
+	initCap := w * h
+	if initCap > 1<<20 {
+		initCap = 1 << 20
+	}
+	data := make([]float32, 0, initCap)
 	if magic == "P2" {
-		for i := range g.Data {
+		for i := 0; i < w*h; i++ {
 			tok, err := pgmToken(br)
 			if err != nil {
 				return nil, err
@@ -97,29 +120,51 @@ func ReadPGM(r io.Reader) (*Grid, error) {
 			if err != nil {
 				return nil, fmt.Errorf("grid: bad PGM sample %q: %w", tok, err)
 			}
-			g.Data[i] = float32(v)
+			data = append(data, float32(v))
 		}
-		return g, nil
+		return FromSlice(w, h, data), nil
 	}
 	// P5: one byte per sample for maxval < 256, two (big-endian) otherwise.
-	if maxval < 256 {
-		buf := make([]byte, w*h)
+	buf := make([]byte, bytesPerSample*w)
+	for y := 0; y < h; y++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("grid: short PGM body: %w", err)
+			return nil, fmt.Errorf("grid: short PGM body at row %d: %w", y, err)
 		}
-		for i, b := range buf {
-			g.Data[i] = float32(b)
-		}
-	} else {
-		buf := make([]byte, 2*w*h)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("grid: short PGM body: %w", err)
-		}
-		for i := range g.Data {
-			g.Data[i] = float32(uint16(buf[2*i])<<8 | uint16(buf[2*i+1]))
+		if bytesPerSample == 1 {
+			for _, b := range buf {
+				data = append(data, float32(b))
+			}
+		} else {
+			for x := 0; x < w; x++ {
+				data = append(data, float32(uint16(buf[2*x])<<8|uint16(buf[2*x+1])))
+			}
 		}
 	}
-	return g, nil
+	return FromSlice(w, h, data), nil
+}
+
+// remainingInput reports how many bytes r can still supply, when that is
+// knowable without consuming it: readers with a Len method (bytes.Reader,
+// bytes.Buffer, strings.Reader) and seekable readers (os.File).
+func remainingInput(r io.Reader) (int64, bool) {
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		return int64(v.Len()), true
+	case io.Seeker:
+		pos, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return 0, false
+		}
+		end, err := v.Seek(0, io.SeekEnd)
+		if err != nil {
+			return 0, false
+		}
+		if _, err := v.Seek(pos, io.SeekStart); err != nil {
+			return 0, false
+		}
+		return end - pos, true
+	}
+	return 0, false
 }
 
 // ReadPGMFile reads a PGM image from path.

@@ -1,0 +1,80 @@
+package grid
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestReadPGMRoundTrip(t *testing.T) {
+	g := New(9, 7)
+	for i := range g.Data {
+		g.Data[i] = float32(i % 256)
+	}
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != g.W || got.H != g.H {
+		t.Fatalf("round-trip dims %dx%d, want %dx%d", got.W, got.H, g.W, g.H)
+	}
+}
+
+func TestReadPGM16Bit(t *testing.T) {
+	body := []byte("P5\n2 2\n65535\n")
+	for _, v := range []uint16{0, 1, 256, 65535} {
+		body = append(body, byte(v>>8), byte(v))
+	}
+	g, err := ReadPGM(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 1, 256, 65535}
+	for i, v := range want {
+		if g.Data[i] != v {
+			t.Errorf("sample %d = %v, want %v", i, g.Data[i], v)
+		}
+	}
+}
+
+// TestReadPGMRefusesOverclaimedBody: when the input's size is knowable,
+// a header claiming more body bytes than exist must fail before the
+// pixel storage is allocated.
+func TestReadPGMRefusesOverclaimedBody(t *testing.T) {
+	doc := "P5\n4096 4096\n255\ntiny body"
+	_, err := ReadPGM(strings.NewReader(doc))
+	if err == nil {
+		t.Fatal("oversized claim accepted")
+	}
+	if !strings.Contains(err.Error(), "remain in the input") {
+		t.Errorf("error %v is not the allocation-cap rejection", err)
+	}
+}
+
+// TestReadPGMTruncatedStream: with an unknowable input size the decode
+// proceeds incrementally and fails at the first short row with an
+// io.ErrUnexpectedEOF — the classification the stream retry policy
+// treats as transient.
+func TestReadPGMTruncatedStream(t *testing.T) {
+	g := New(8, 8)
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// io.MultiReader hides Len/Seek, so remainingInput cannot see the size.
+	trunc := io.MultiReader(bytes.NewReader(full[:len(full)-10]))
+	_, err := ReadPGM(trunc)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if !strings.Contains(err.Error(), "row") {
+		t.Errorf("error %v does not name the failing row", err)
+	}
+}

@@ -11,12 +11,19 @@ package ingest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"sma/internal/grid"
 )
+
+// ErrTruncated marks an AREA document that ended before the bytes its
+// directory promised — the signature of a file still being ingested or a
+// feed that dropped mid-frame. Callers can errors.Is for it to decide
+// between retrying (the file may finish arriving) and rejecting.
+var ErrTruncated = errors.New("ingest: truncated input")
 
 // Directory is the subset of the 64-word AREA directory this codec uses.
 // Word numbering follows the McIDAS convention (1-based).
@@ -102,7 +109,7 @@ func WriteArea(w io.Writer, d Directory, g *grid.Grid) error {
 func ReadArea(r io.Reader) (Directory, *grid.Grid, error) {
 	raw := make([]byte, dirWords*4)
 	if _, err := io.ReadFull(r, raw); err != nil {
-		return Directory{}, nil, fmt.Errorf("ingest: short directory: %w", err)
+		return Directory{}, nil, fmt.Errorf("%w: short directory: %w", ErrTruncated, err)
 	}
 	var order binary.ByteOrder = binary.LittleEndian
 	if int32(binary.LittleEndian.Uint32(raw[4:8])) != versionWord {
@@ -143,7 +150,7 @@ func ReadArea(r io.Reader) (Directory, *grid.Grid, error) {
 	// Skip any nav/cal blocks between the directory and the data.
 	if skip > 0 {
 		if _, err := io.CopyN(io.Discard, r, skip); err != nil {
-			return d, nil, fmt.Errorf("ingest: truncated nav block: %w", err)
+			return d, nil, fmt.Errorf("%w: nav block: %w", ErrTruncated, err)
 		}
 	}
 	// Decode row by row into storage that grows with the data actually
@@ -159,7 +166,7 @@ func ReadArea(r io.Reader) (Directory, *grid.Grid, error) {
 	buf := make([]byte, int(d.ByteDepth)*int(d.Elements))
 	for y := 0; y < int(d.Lines); y++ {
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return d, nil, fmt.Errorf("ingest: truncated data at line %d: %w", y, err)
+			return d, nil, fmt.Errorf("%w: data at line %d: %w", ErrTruncated, y, err)
 		}
 		if d.ByteDepth == 1 {
 			for _, b := range buf {

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunChaosAgainstLiveServer exercises the full chaos harness against
+// an in-process server: clean reference job, seeded fault rounds, exact
+// counter deltas, surviving-pair identity, and the goroutine canary.
+func TestRunChaosAgainstLiveServer(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	res, err := RunChaos(ctx, ChaosOptions{
+		URL:          ts.URL,
+		Size:         32,
+		Seed:         11,
+		Frames:       8,
+		Rounds:       3,
+		PollInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.PairsVerified == 0 {
+		t.Error("no surviving pairs were verified bit-identical")
+	}
+	if res.PairsSkipped == 0 {
+		t.Error("fault rounds skipped no pairs — injection did not bite")
+	}
+}
+
+// TestRunChaosAllDead forces every frame dead in each round and expects
+// the harness to accept the resulting failed jobs as contract-conforming.
+func TestRunChaosAllDead(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	res, err := RunChaos(ctx, ChaosOptions{
+		URL:          ts.URL,
+		Size:         24,
+		Seed:         3,
+		Frames:       4,
+		Rounds:       1,
+		FailFrames:   4,
+		PollInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.PairsVerified != 0 {
+		t.Errorf("PairsVerified = %d, want 0 with every frame dead", res.PairsVerified)
+	}
+}

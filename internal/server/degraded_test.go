@@ -1,0 +1,153 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJobFaultInjectionPartialResults drives a job through a seeded
+// fault schedule and checks the serving half of the robustness contract:
+// the job completes with per-pair statuses, the degraded counters match
+// the plan's expectation exactly, and every surviving pair's summary is
+// identical to the same pair of an undamaged job.
+func TestJobFaultInjectionPartialResults(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	const frames = 8
+	ref := &SyntheticRef{Scene: "hurricane", Size: 32, Seed: 11, Frames: frames}
+	spec := &FaultSpec{Seed: 5, FailFrames: 1, FlakyFrames: 1, DamageFrames: 1}
+	plan, err := spec.plan(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := plan.Expect(frames)
+	if len(e.SurvivingPairs) == 0 || e.PairsSkipped == 0 {
+		t.Fatalf("degenerate schedule (surviving=%v skipped=%d); pick another seed", e.SurvivingPairs, e.PairsSkipped)
+	}
+
+	clean := createJob(t, ts.URL, JobRequest{Synthetic: ref})
+	cleanDone := waitForJob(t, ts.URL, clean.ID, JobDone, 30*time.Second)
+
+	faulted := createJob(t, ts.URL, JobRequest{Synthetic: ref, Fault: spec})
+	done := waitForJob(t, ts.URL, faulted.ID, JobDone, 30*time.Second)
+
+	st := done.Stats
+	if st.Retries != e.Retries || st.FramesSkipped != e.FramesSkipped ||
+		st.PairsSkipped != e.PairsSkipped || st.Gaps != e.Gaps {
+		t.Errorf("job stats %+v do not match plan expectation %+v", st, e)
+	}
+	if st.PairsTracked != int64(len(e.SurvivingPairs)) {
+		t.Errorf("PairsTracked = %d, want %d", st.PairsTracked, len(e.SurvivingPairs))
+	}
+
+	// Every pair is reported exactly once, in order, with a status.
+	if len(done.Pairs) != frames-1 {
+		t.Fatalf("job reports %d pairs, want %d (dropped pairs included)", len(done.Pairs), frames-1)
+	}
+	surviving := make(map[int]bool)
+	for _, p := range e.SurvivingPairs {
+		surviving[p] = true
+	}
+	for i, p := range done.Pairs {
+		if p.Pair != i {
+			t.Fatalf("pairs out of order: slot %d holds pair %d", i, p.Pair)
+		}
+		switch {
+		case surviving[i]:
+			if p.Status != PairOK {
+				t.Errorf("pair %d status %q, want %q", i, p.Status, PairOK)
+			}
+			if p.MeanMag != cleanDone.Pairs[i].MeanMag {
+				t.Errorf("pair %d mean magnitude %v differs from the undamaged job's %v",
+					i, p.MeanMag, cleanDone.Pairs[i].MeanMag)
+			}
+		default:
+			if p.Status != PairSkipped {
+				t.Errorf("pair %d status %q, want %q", i, p.Status, PairSkipped)
+			}
+			if p.Error == "" {
+				t.Errorf("dropped pair %d carries no cause", i)
+			}
+		}
+	}
+
+	// The degraded counters surface on /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		fmt.Sprintf("smaserve_frame_retries_total %d", e.Retries),
+		fmt.Sprintf("smaserve_frames_skipped_total %d", e.FramesSkipped),
+		fmt.Sprintf("smaserve_pairs_skipped_total %d", e.PairsSkipped),
+		fmt.Sprintf("smaserve_stream_gaps_total %d", e.Gaps),
+		"smaserve_pairs_failed_total 0",
+		"smaserve_goroutines ",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestJobFaultAllFramesDead: when the schedule kills every frame the job
+// must finish failed, not pretend a pair-less run is done.
+func TestJobFaultAllFramesDead(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	view := createJob(t, ts.URL, JobRequest{
+		Synthetic: &SyntheticRef{Scene: "hurricane", Size: 32, Seed: 11, Frames: 3},
+		Fault:     &FaultSpec{Seed: 1, FailFrames: 3},
+	})
+	done := waitForJob(t, ts.URL, view.ID, JobFailed, 30*time.Second)
+	if done.Stats.PairsTracked != 0 {
+		t.Errorf("PairsTracked = %d, want 0", done.Stats.PairsTracked)
+	}
+	if done.Error == "" {
+		t.Error("failed job carries no error message")
+	}
+}
+
+// TestJobFaultValidation: malformed fault specs are rejected up front.
+func TestJobFaultValidation(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, body := range []string{
+		`{"synthetic":{"scene":"hurricane","size":32,"frames":4},"fault":{"fail_frames":-1}}`,
+		`{"synthetic":{"scene":"hurricane","size":32,"frames":4},"fault":{"fail_frames":3,"damage_frames":2}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestJobFlakyFramesRecover: transient faults cost retries, not pairs.
+func TestJobFlakyFramesRecover(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	const frames = 5
+	view := createJob(t, ts.URL, JobRequest{
+		Synthetic: &SyntheticRef{Scene: "hurricane", Size: 32, Seed: 11, Frames: frames},
+		Fault:     &FaultSpec{Seed: 2, FlakyFrames: 2},
+	})
+	done := waitForJob(t, ts.URL, view.ID, JobDone, 30*time.Second)
+	if done.Stats.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", done.Stats.Retries)
+	}
+	if done.Stats.PairsTracked != frames-1 || done.Stats.PairsSkipped != 0 {
+		t.Errorf("flaky run lost pairs: %+v", done.Stats)
+	}
+	for _, p := range done.Pairs {
+		if p.Status != PairOK {
+			t.Errorf("pair %d status %q after recovery, want ok", p.Pair, p.Status)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"sma/internal/fault"
+)
+
+// FaultSpec is the JSON form of a seeded fault-injection schedule a job
+// may carry (POST /v1/jobs {"fault": {...}}). It exists for chaos
+// testing: cmd/smachaos drives a live server through deterministic
+// damage and asserts the degraded-mode invariants against the plan's
+// expectation. An absent spec injects nothing.
+type FaultSpec struct {
+	// Seed makes the schedule deterministic: same seed, same frames
+	// faulted, same damage positions.
+	Seed int64 `json:"seed"`
+	// FailFrames frames fail persistently (the frame is lost).
+	FailFrames int `json:"fail_frames,omitempty"`
+	// FlakyFrames frames fail once, then deliver on retry.
+	FlakyFrames int `json:"flaky_frames,omitempty"`
+	// DamageFrames frames arrive with NaN pixel damage the quality gate
+	// rejects.
+	DamageFrames int `json:"damage_frames,omitempty"`
+	// LatencyMS delays every faulted frame's delivery.
+	LatencyMS int `json:"latency_ms,omitempty"`
+}
+
+// plan validates the spec against the job's frame count and builds the
+// seeded schedule.
+func (f FaultSpec) plan(frames int) (*fault.Plan, error) {
+	if f.FailFrames < 0 || f.FlakyFrames < 0 || f.DamageFrames < 0 || f.LatencyMS < 0 {
+		return nil, fmt.Errorf("fault spec counts must be >= 0")
+	}
+	total := f.FailFrames + f.FlakyFrames + f.DamageFrames
+	if total > frames {
+		return nil, fmt.Errorf("fault spec touches %d frames but the job has only %d", total, frames)
+	}
+	return fault.RandomPlan(f.Seed, frames, fault.RandomConfig{
+		FailFrames:   f.FailFrames,
+		FlakyFrames:  f.FlakyFrames,
+		DamageFrames: f.DamageFrames,
+		Latency:      time.Duration(f.LatencyMS) * time.Millisecond,
+	}), nil
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"sma/internal/core"
+	"sma/internal/fault"
 	"sma/internal/grid"
 	"sma/internal/stream"
 )
@@ -28,11 +29,14 @@ type TrackRequest struct {
 }
 
 // JobRequest is the JSON form of POST /v1/jobs: an asynchronous
-// multi-frame sequence run on the streaming pipeline.
+// multi-frame sequence run on the streaming pipeline. An optional Fault
+// spec injects a seeded fault schedule into the job's source — the knob
+// the chaos harness turns to exercise degraded-mode serving end to end.
 type JobRequest struct {
 	Synthetic *SyntheticRef `json:"synthetic"`
 	Params    ParamsSpec    `json:"params"`
 	Robust    bool          `json:"robust,omitempty"`
+	Fault     *FaultSpec    `json:"fault,omitempty"`
 }
 
 // trackInput is a parsed track request, whichever wire form it arrived in.
@@ -277,6 +281,14 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.Fault != nil {
+		plan, err := req.Fault.plan(frames)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		src = fault.WrapSource(src, plan)
+	}
 	if px := req.Synthetic.Size * req.Synthetic.Size; px > s.cfg.MaxPixels {
 		s.httpError(w, http.StatusBadRequest, fmt.Sprintf("frame area %d px exceeds the serving cap %d", px, s.cfg.MaxPixels))
 		return
@@ -340,9 +352,29 @@ func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.So
 		Options:    opt,
 		Workers:    1, // the pool slot is the unit of concurrency
 		RowWorkers: s.rowWorkers,
+		// Degraded-mode serving: transient frame errors are retried,
+		// persistently bad or damaged frames are skipped with pairing
+		// resynchronized, and a tracking failure costs only its pair.
+		// Surviving pairs stay bit-identical to an undamaged run.
+		Retry: stream.RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond},
+		Skip:  stream.SkipPolicy{MaxSkips: -1},
+		// NaN/Inf-strict; dead-line rejection stays off because flat
+		// scanlines are legitimate in low-texture imagery.
+		Gate:         &core.QualityGate{MaxBadFrac: 0, MaxDeadLineFrac: 1},
+		IsolatePairs: true,
+		OnPairDrop: func(pair int, cause error) {
+			status := PairFailed
+			var fe *stream.FrameError
+			if errors.As(cause, &fe) {
+				status = PairSkipped
+			}
+			job.mu.Lock()
+			job.pairs = append(job.pairs, PairSummary{Pair: pair, Status: status, Error: cause.Error()})
+			job.mu.Unlock()
+		},
 	}, func(pair int, res *core.Result) error {
 		job.mu.Lock()
-		job.pairs = append(job.pairs, PairSummary{Pair: pair, MeanMag: res.Flow.MeanMagnitude()})
+		job.pairs = append(job.pairs, PairSummary{Pair: pair, Status: PairOK, MeanMag: res.Flow.MeanMagnitude()})
 		job.mu.Unlock()
 		return nil
 	})
@@ -351,6 +383,11 @@ func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.So
 	job.stats = st
 	job.finished = time.Now()
 	switch {
+	case err == nil && st.PairsTracked == 0:
+		// The degraded mode swallowed every pair; a "done" job with no
+		// results would be a lie.
+		job.status = JobFailed
+		job.errMsg = "degraded run delivered no pairs"
 	case err == nil:
 		job.status = JobDone
 	case errors.Is(err, context.Canceled):
@@ -366,6 +403,7 @@ func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.So
 	job.mu.Unlock()
 	s.metrics.JobTransition(string(status))
 	s.metrics.AddWork(st.PairsTracked, st.FitsComputed, st.FitsReused)
+	s.metrics.AddDegraded(st)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

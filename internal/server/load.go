@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"mime/multipart"
 	"net/http"
 	"sort"
@@ -296,18 +297,23 @@ feed:
 }
 
 // retryDelay honors Retry-After when present (capped at 2s so saturated
-// runs keep moving), defaulting to 100ms.
+// runs keep moving), defaulting to 100ms. The returned delay is jittered
+// over its upper half so the load generator's concurrent workers do not
+// re-dogpile the admission queue in lockstep after a mass rejection.
 func retryDelay(resp *http.Response) time.Duration {
+	d := 100 * time.Millisecond
 	if s := resp.Header.Get("Retry-After"); s != "" {
 		if sec, err := strconv.Atoi(s); err == nil && sec >= 0 {
-			d := time.Duration(sec) * time.Second
+			d = time.Duration(sec) * time.Second
 			if d > 2*time.Second {
 				d = 2 * time.Second
 			}
-			return d
 		}
 	}
-	return 100 * time.Millisecond
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // consumeTrackResponse drains one /v1/track response, classifying it as a

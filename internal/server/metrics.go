@@ -3,10 +3,13 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"sma/internal/stream"
 )
 
 // durationBuckets are the request-latency histogram bounds in seconds,
@@ -51,6 +54,14 @@ type Metrics struct {
 	pairsTracked uint64
 	fitsComputed uint64
 	fitsReused   uint64
+
+	// Degraded-mode counters accumulated across all jobs: how much
+	// damage the serving layer absorbed instead of failing jobs over.
+	frameRetries  uint64
+	framesSkipped uint64
+	pairsSkipped  uint64
+	pairsFailed   uint64
+	streamGaps    uint64
 
 	// queueDepth and queueCap are read at scrape time from the pool.
 	queueDepth func() int
@@ -126,6 +137,17 @@ func (m *Metrics) AddWork(pairs, fitsComputed, fitsReused int64) {
 	m.mu.Unlock()
 }
 
+// AddDegraded accumulates a finished job's degraded-mode counters.
+func (m *Metrics) AddDegraded(st stream.Stats) {
+	m.mu.Lock()
+	m.frameRetries += uint64(st.Retries)
+	m.framesSkipped += uint64(st.FramesSkipped)
+	m.pairsSkipped += uint64(st.PairsSkipped)
+	m.pairsFailed += uint64(st.PairsFailed)
+	m.streamGaps += uint64(st.Gaps)
+	m.mu.Unlock()
+}
+
 func writeHeader(w io.Writer, name, help, typ string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 }
@@ -179,6 +201,17 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	writeHeader(&b, "smaserve_frame_fits_reused_total", "Frame surface fits reused from the stream cache.", "counter")
 	fmt.Fprintf(&b, "smaserve_frame_fits_reused_total %d\n", m.fitsReused)
 
+	writeHeader(&b, "smaserve_frame_retries_total", "Frame re-reads after transient source errors.", "counter")
+	fmt.Fprintf(&b, "smaserve_frame_retries_total %d\n", m.frameRetries)
+	writeHeader(&b, "smaserve_frames_skipped_total", "Frames dropped by the skip policy or quality gate.", "counter")
+	fmt.Fprintf(&b, "smaserve_frames_skipped_total %d\n", m.framesSkipped)
+	writeHeader(&b, "smaserve_pairs_skipped_total", "Pairs lost because a constituent frame was dropped.", "counter")
+	fmt.Fprintf(&b, "smaserve_pairs_skipped_total %d\n", m.pairsSkipped)
+	writeHeader(&b, "smaserve_pairs_failed_total", "Pairs dropped by isolated per-pair tracking failures.", "counter")
+	fmt.Fprintf(&b, "smaserve_pairs_failed_total %d\n", m.pairsFailed)
+	writeHeader(&b, "smaserve_stream_gaps_total", "Maximal runs of consecutive skipped frames.", "counter")
+	fmt.Fprintf(&b, "smaserve_stream_gaps_total %d\n", m.streamGaps)
+
 	writeHeader(&b, "smaserve_inflight_requests", "Requests currently being served.", "gauge")
 	fmt.Fprintf(&b, "smaserve_inflight_requests %d\n", m.inflight)
 
@@ -190,6 +223,9 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		writeHeader(&b, "smaserve_worker_pool_size", "Tracking worker goroutines.", "gauge")
 		fmt.Fprintf(&b, "smaserve_worker_pool_size %d\n", m.workers)
 	}
+
+	writeHeader(&b, "smaserve_goroutines", "Live goroutines in the serving process (leak canary for the chaos harness).", "gauge")
+	fmt.Fprintf(&b, "smaserve_goroutines %d\n", runtime.NumGoroutine())
 
 	writeHeader(&b, "smaserve_uptime_seconds", "Seconds since the server started.", "gauge")
 	fmt.Fprintf(&b, "smaserve_uptime_seconds %g\n", time.Since(m.started).Seconds())

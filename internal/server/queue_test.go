@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the live goroutine count drops back to at
+// most want, failing after a second — the leak check shutdown paths are
+// held to.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines still live, want <= %d", n, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolDrainEscalation: a drain whose deadline expires must cancel the
+// tasks' context, the stuck tasks must abort promptly, and no pool
+// goroutine may outlive Shutdown.
+func TestPoolDrainEscalation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(2, 4)
+	var aborted atomic.Int64
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		err := p.Submit(func(ctx context.Context) {
+			started <- struct{}{}
+			<-ctx.Done() // wedge until the drain escalates
+			aborted.Add(1)
+		})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	<-started
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("escalated drain took %v; abort was not prompt", took)
+	}
+	if got := aborted.Load(); got != 2 {
+		t.Fatalf("%d tasks saw the forced cancel, want 2", got)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestPoolGracefulDrain: tasks that finish on their own drain cleanly,
+// Submit starts refusing, and the workers exit.
+func TestPoolGracefulDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(2, 4)
+	var ran atomic.Int64
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(func(context.Context) { ran.Add(1) }); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	if err := p.Shutdown(context.Background()); err != nil {
+		t.Fatalf("graceful drain: %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("%d tasks ran, want 4", ran.Load())
+	}
+	if err := p.Submit(func(context.Context) {}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown Submit = %v, want ErrShuttingDown", err)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestStoreTTLRacesCancel hammers TTL sweeps against concurrent
+// lookup-and-cancel — the DELETE /v1/jobs/{id} path racing expiry. The
+// race detector is the assertion.
+func TestStoreTTLRacesCancel(t *testing.T) {
+	st := newTTLStore(2*time.Millisecond, func(int) {})
+	defer st.close()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		_, cancel := context.WithCancel(context.Background())
+		st.put(id, &Job{ID: id, status: JobRunning, cancel: cancel})
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if v, ok := st.get(id); ok {
+					v.(*Job).Cancel()
+				} else {
+					// Expired mid-loop: re-insert so the race keeps running.
+					_, cancel := context.WithCancel(context.Background())
+					st.put(id, &Job{ID: id, status: JobRunning, cancel: cancel})
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				st.sweep(time.Now())
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStoreExpiredJobGone: once the TTL passes, the job is invisible to
+// lookups (the handler's 404) even before a sweep runs.
+func TestStoreExpiredJobGone(t *testing.T) {
+	st := newTTLStore(5*time.Millisecond, nil)
+	defer st.close()
+	st.put("a", &Job{ID: "a"})
+	if _, ok := st.get("a"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := st.get("a"); ok {
+		t.Fatal("expired entry still retrievable")
+	}
+	st.sweep(time.Now())
+	if n := st.len(); n != 0 {
+		t.Fatalf("store holds %d entries after sweep, want 0", n)
+	}
+}

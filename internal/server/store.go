@@ -44,12 +44,25 @@ const (
 	JobCancelled JobStatus = "cancelled"
 )
 
+// Per-pair outcome states: a pair is ok (tracked and summarized),
+// skipped (a constituent frame was lost or gate-rejected), or failed
+// (tracking errored and IsolatePairs confined the loss to this pair).
+const (
+	PairOK      = "ok"
+	PairSkipped = "skipped"
+	PairFailed  = "failed"
+)
+
 // PairSummary is the per-pair digest a job retains: full motion fields of
 // long sequences would pin unbounded memory, so jobs keep the scalar
-// summary and per-job stream.Stats instead.
+// summary and per-job stream.Stats instead. Degraded runs report every
+// pair — dropped ones carry their status and cause instead of a motion
+// summary, so partial results stay interpretable.
 type PairSummary struct {
 	Pair    int     `json:"pair"`
+	Status  string  `json:"status"`
 	MeanMag float64 `json:"mean_magnitude_px"`
+	Error   string  `json:"error,omitempty"`
 }
 
 // Job is one asynchronous multi-frame tracking run executed on the

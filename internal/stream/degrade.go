@@ -1,0 +1,139 @@
+package stream
+
+// This file holds the degraded-mode machinery: the policies that let a
+// streaming run survive the faults real feeds carry (dropped scan lines,
+// truncated files, transient I/O errors) instead of aborting a whole
+// multi-frame job on the first bad frame. With the zero-value policies
+// the pipeline keeps its historical fail-fast behavior bit-exactly; see
+// docs/ROBUSTNESS.md.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// FrameError tags a frame-level failure with the index of the frame that
+// caused it. The pipeline guarantees the index is attached exactly once,
+// however deep the underlying cause is wrapped.
+type FrameError struct {
+	Frame int
+	Err   error
+}
+
+func (e *FrameError) Error() string { return fmt.Sprintf("stream: frame %d: %v", e.Frame, e.Err) }
+
+func (e *FrameError) Unwrap() error { return e.Err }
+
+// frameError wraps err with the frame index unless some layer below
+// already did — the "exactly once" half of the FrameError contract.
+func frameError(idx int, err error) *FrameError {
+	var fe *FrameError
+	if errors.As(err, &fe) {
+		return fe
+	}
+	return &FrameError{Frame: idx, Err: err}
+}
+
+// ErrTransient marks an injected or classified transient failure: an
+// error a retry of the same frame may clear. Fault injection
+// (internal/fault) wraps its transient schedule entries in it, and
+// custom sources can too.
+var ErrTransient = errors.New("transient failure")
+
+// Transient is the default retry classification: ErrTransient-wrapped
+// errors, network timeouts, and short reads (io.ErrUnexpectedEOF — a
+// file still being written, or a feed that dropped mid-frame) are worth
+// retrying; everything else is not.
+func Transient(err error) bool {
+	if errors.Is(err, ErrTransient) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr) && nerr.Timeout()
+}
+
+// RetryPolicy bounds how the producer re-reads a frame whose Next failed
+// with a transient error: up to MaxAttempts total attempts with
+// exponential backoff and deterministic jitter between them. The zero
+// value disables retrying entirely (one attempt, today's behavior).
+type RetryPolicy struct {
+	// MaxAttempts is the total attempts per frame; <= 1 disables retry.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (0 = 5ms). Attempt n waits
+	// around BaseDelay·2ⁿ⁻¹, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = 250ms).
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic (0 = 1). Two runs with the same
+	// seed and the same fault schedule wait identically.
+	Seed int64
+	// Transient classifies retryable errors (nil = Transient).
+	Transient func(error) bool
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Transient == nil {
+		p.Transient = Transient
+	}
+	return p
+}
+
+// backoff returns the jittered delay before retry attempt, attempt
+// counting failed attempts so far (1 = first retry). Full jitter over the
+// upper half keeps synchronized producers from retrying in lockstep while
+// staying deterministic for a given rng.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// SkipPolicy lets the producer drop a frame whose error survived the
+// retry budget (or that the quality gate rejected), resynchronizing
+// pairing on the next good frame: the pairs the dead frame participated
+// in are reported dropped (Stats.PairsSkipped, Config.OnPairDrop) and
+// every surviving pair stays bit-identical to the same pair of an
+// undamaged run. The zero value disables skipping (today's behavior).
+type SkipPolicy struct {
+	// MaxSkips caps how many frames one run may drop: 0 disables
+	// skipping, < 0 is unlimited.
+	MaxSkips int
+	// Skippable classifies which errors may be skipped once retries are
+	// exhausted (nil = every error).
+	Skippable func(error) bool
+}
+
+func (p SkipPolicy) allows(skipped int, err error) bool {
+	if p.MaxSkips == 0 {
+		return false
+	}
+	if p.MaxSkips > 0 && skipped >= p.MaxSkips {
+		return false
+	}
+	return p.Skippable == nil || p.Skippable(err)
+}
+
+// Skipper is the optional Source extension degraded-mode runs need:
+// Next must not advance past a frame it failed to deliver (so a retry
+// re-reads it), which means skipping a persistently failing frame needs
+// an explicit step. Sources that cannot skip make persistent frame
+// errors fatal even under a SkipPolicy.
+type Skipper interface {
+	// SkipFrame advances past the frame the last failing Next addressed.
+	SkipFrame()
+}

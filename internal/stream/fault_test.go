@@ -1,0 +1,329 @@
+// Degraded-mode conformance: these tests drive the pipeline through
+// seeded fault schedules (internal/fault) and assert the robustness
+// contract — the run completes, the degraded-mode counters match the
+// plan's Expectation exactly, every surviving pair is bit-identical to
+// the same pair of an undamaged run, and frame errors carry their index
+// exactly once. They live in package stream_test because internal/fault
+// imports internal/stream.
+package stream_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sma/internal/core"
+	"sma/internal/fault"
+	"sma/internal/grid"
+	"sma/internal/stream"
+	"sma/internal/synth"
+)
+
+func faultTestFrames(t *testing.T, n, size int) []*grid.Grid {
+	t.Helper()
+	scene := synth.Hurricane(size, size, 7)
+	frames := make([]*grid.Grid, n)
+	for i := range frames {
+		frames[i] = scene.Frame(float64(i))
+	}
+	return frames
+}
+
+// cleanBaseline tracks every adjacent pair independently — the reference
+// surviving pairs must be bit-identical to.
+func cleanBaseline(t *testing.T, frames []*grid.Grid, p core.Params, opt core.Options) []*core.Result {
+	t.Helper()
+	out := make([]*core.Result, len(frames)-1)
+	for i := 0; i+1 < len(frames); i++ {
+		res, err := core.TrackSequential(core.Monocular(frames[i], frames[i+1]), p, opt)
+		if err != nil {
+			t.Fatalf("baseline pair %d: %v", i, err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+func degradedConfig(p core.Params) stream.Config {
+	return stream.Config{
+		Params: p,
+		Retry: stream.RetryPolicy{
+			MaxAttempts: 3,
+			BaseDelay:   time.Microsecond,
+			MaxDelay:    10 * time.Microsecond,
+		},
+		Skip: stream.SkipPolicy{MaxSkips: -1},
+		// NaN-strict; dead-line detection off so low-texture synthetic
+		// rows are not mistaken for damage.
+		Gate: &core.QualityGate{MaxBadFrac: 0, MaxDeadLineFrac: 1},
+	}
+}
+
+// TestStreamFaultConformance is the acceptance test of the robustness
+// story: a seeded schedule kills or damages k frames of N, and the run
+// must complete with exactly the counters the plan predicts and every
+// surviving pair bit-identical to the undamaged run.
+func TestStreamFaultConformance(t *testing.T) {
+	const n = 12
+	frames := faultTestFrames(t, n, 16)
+	p := core.Params{NS: 2, NZS: 2, NZT: 3}
+	var opt core.Options
+	want := cleanBaseline(t, frames, p, opt)
+
+	plan := fault.NewPlan(11,
+		fault.FrameFault{Frame: 2, Kind: fault.IOError},              // persistent: frame dies
+		fault.FrameFault{Frame: 5, Kind: fault.IOError, Attempts: 2}, // transient: retries clear it
+		fault.FrameFault{Frame: 8, Kind: fault.Damage},               // NaN damage: gate rejects
+		fault.FrameFault{Frame: 9, Kind: fault.Damage, BadPixels: 5}, // adjacent damage: one gap
+	)
+	e := plan.Expect(n)
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := degradedConfig(p)
+			cfg.Workers = workers
+			dropped := make(map[int]error)
+			cfg.OnPairDrop = func(pair int, cause error) { dropped[pair] = cause }
+			got := make(map[int]*core.Result)
+			src := fault.WrapSource(stream.Grids(frames), plan)
+			st, err := stream.Stream(src, cfg, func(pair int, res *core.Result) error {
+				got[pair] = res
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("degraded run failed: %v", err)
+			}
+
+			if st.Retries != e.Retries {
+				t.Errorf("Retries = %d, want %d", st.Retries, e.Retries)
+			}
+			if st.FramesSkipped != e.FramesSkipped {
+				t.Errorf("FramesSkipped = %d, want %d", st.FramesSkipped, e.FramesSkipped)
+			}
+			if st.PairsSkipped != e.PairsSkipped {
+				t.Errorf("PairsSkipped = %d, want %d", st.PairsSkipped, e.PairsSkipped)
+			}
+			if st.Gaps != e.Gaps {
+				t.Errorf("Gaps = %d, want %d", st.Gaps, e.Gaps)
+			}
+			if st.PairsFailed != 0 {
+				t.Errorf("PairsFailed = %d, want 0", st.PairsFailed)
+			}
+			// Every frame except the persistently dead one is delivered
+			// (damaged frames arrive, then the gate rejects them).
+			if wantIn := int64(n - 1); st.FramesIn != wantIn {
+				t.Errorf("FramesIn = %d, want %d", st.FramesIn, wantIn)
+			}
+			if st.PairsTracked != int64(len(e.SurvivingPairs)) {
+				t.Errorf("PairsTracked = %d, want %d", st.PairsTracked, len(e.SurvivingPairs))
+			}
+
+			if len(got) != len(e.SurvivingPairs) {
+				t.Fatalf("emitted %d pairs, want %d (%v)", len(got), len(e.SurvivingPairs), e.SurvivingPairs)
+			}
+			for _, pair := range e.SurvivingPairs {
+				res, ok := got[pair]
+				if !ok {
+					t.Fatalf("surviving pair %d was not emitted", pair)
+				}
+				if !res.Flow.Equal(want[pair].Flow) {
+					t.Errorf("pair %d flow differs from the undamaged run", pair)
+				}
+				if !res.Err.Equal(want[pair].Err) {
+					t.Errorf("pair %d residual field differs from the undamaged run", pair)
+				}
+			}
+
+			if int64(len(dropped)) != e.PairsSkipped {
+				t.Fatalf("OnPairDrop saw %d pairs, want %d", len(dropped), e.PairsSkipped)
+			}
+			for pair, cause := range dropped {
+				if _, alsoEmitted := got[pair]; alsoEmitted {
+					t.Errorf("pair %d both emitted and dropped", pair)
+				}
+				var fe *stream.FrameError
+				if !errors.As(cause, &fe) {
+					t.Errorf("pair %d drop cause %v does not unwrap to *FrameError", pair, cause)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamFaultDeterminism: two runs over the same plan report the same
+// counters and the same surviving pairs.
+func TestStreamFaultDeterminism(t *testing.T) {
+	const n = 10
+	frames := faultTestFrames(t, n, 12)
+	p := core.Params{NS: 1, NZS: 1, NZT: 1}
+	plan := fault.RandomPlan(3, n, fault.RandomConfig{FailFrames: 1, FlakyFrames: 1, DamageFrames: 2})
+	run := func() (stream.Stats, []int) {
+		cfg := degradedConfig(p)
+		var pairs []int
+		st, err := stream.Stream(fault.WrapSource(stream.Grids(frames), plan), cfg,
+			func(pair int, _ *core.Result) error {
+				pairs = append(pairs, pair)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return st, pairs
+	}
+	st1, p1 := run()
+	st2, p2 := run()
+	if st1 != st2 {
+		t.Errorf("stats diverged across identical runs:\n%+v\n%+v", st1, st2)
+	}
+	if fmt.Sprint(p1) != fmt.Sprint(p2) {
+		t.Errorf("surviving pairs diverged: %v vs %v", p1, p2)
+	}
+	e := plan.Expect(n)
+	if st1.Retries != e.Retries || st1.FramesSkipped != e.FramesSkipped ||
+		st1.PairsSkipped != e.PairsSkipped || st1.Gaps != e.Gaps {
+		t.Errorf("stats %+v do not match expectation %+v", st1, e)
+	}
+}
+
+// TestFrameErrorAttachedExactlyOnce locks the FrameError contract: a
+// plain source error surfaces with the failing frame's index attached by
+// the pipeline, and re-wrapping layers do not stack a second index.
+func TestFrameErrorAttachedExactlyOnce(t *testing.T) {
+	boom := errors.New("render exploded")
+	src := stream.Func(5, func(i int) (core.Frame, error) {
+		if i == 3 {
+			return core.Frame{}, boom
+		}
+		return core.MonocularFrame(faultTestFrames(t, 5, 8)[i]), nil
+	})
+	_, _, err := stream.Run(src, stream.Config{Params: core.Params{NS: 1, NZS: 1, NZT: 1}})
+	if err == nil {
+		t.Fatal("run succeeded; want frame-3 failure")
+	}
+	var fe *stream.FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v does not unwrap to *FrameError", err)
+	}
+	if fe.Frame != 3 {
+		t.Errorf("FrameError.Frame = %d, want 3", fe.Frame)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v lost the underlying cause", err)
+	}
+	var inner *stream.FrameError
+	if errors.As(fe.Err, &inner) {
+		t.Errorf("frame index attached twice: %v", err)
+	}
+	if n := strings.Count(err.Error(), "frame "); n != 1 {
+		t.Errorf("error message mentions %q %d times, want 1: %q", "frame", n, err.Error())
+	}
+}
+
+// TestSkipBudgetExhausted: a bounded skip budget makes the frame after it
+// fatal, and the error names that frame.
+func TestSkipBudgetExhausted(t *testing.T) {
+	const n = 8
+	frames := faultTestFrames(t, n, 8)
+	plan := fault.NewPlan(1,
+		fault.FrameFault{Frame: 2, Kind: fault.IOError},
+		fault.FrameFault{Frame: 5, Kind: fault.IOError},
+	)
+	cfg := degradedConfig(core.Params{NS: 1, NZS: 1, NZT: 1})
+	cfg.Skip.MaxSkips = 1
+	_, err := stream.Stream(fault.WrapSource(stream.Grids(frames), plan), cfg,
+		func(int, *core.Result) error { return nil })
+	var fe *stream.FrameError
+	if !errors.As(err, &fe) || fe.Frame != 5 {
+		t.Fatalf("error = %v, want *FrameError for frame 5", err)
+	}
+}
+
+// TestSkipNeedsSkipper: a source that cannot step past a failed frame
+// makes persistent source errors fatal even under a SkipPolicy, while
+// gate rejections (where the frame WAS delivered) still skip fine.
+func TestSkipNeedsSkipper(t *testing.T) {
+	frames := faultTestFrames(t, 6, 8)
+	damaged := fault.WrapSource(stream.Grids(frames),
+		fault.NewPlan(1, fault.FrameFault{Frame: 2, Kind: fault.Damage}))
+
+	// Hide the Skipper behind a plain Source.
+	bare := sourceOnly{damaged}
+	cfg := degradedConfig(core.Params{NS: 1, NZS: 1, NZT: 1})
+	var emitted int
+	st, err := stream.Stream(bare, cfg, func(int, *core.Result) error { emitted++; return nil })
+	if err != nil {
+		t.Fatalf("gate rejection should skip without a Skipper: %v", err)
+	}
+	if st.FramesSkipped != 1 || st.PairsSkipped != 2 || emitted != 3 {
+		t.Errorf("skipped=%d pairsSkipped=%d emitted=%d, want 1/2/3", st.FramesSkipped, st.PairsSkipped, emitted)
+	}
+
+	dead := sourceOnly{fault.WrapSource(stream.Grids(frames),
+		fault.NewPlan(1, fault.FrameFault{Frame: 2, Kind: fault.IOError}))}
+	if _, err := stream.Stream(dead, cfg, func(int, *core.Result) error { return nil }); err == nil {
+		t.Fatal("source-level failure on a non-Skipper source should be fatal")
+	}
+}
+
+type sourceOnly struct{ src stream.Source }
+
+func (s sourceOnly) Next() (core.Frame, error) { return s.src.Next() }
+
+// TestRetryExhaustedThenSkipped: a transient fault outlasting the retry
+// budget is handed to the skip policy like any persistent failure.
+func TestRetryExhaustedThenSkipped(t *testing.T) {
+	const n = 6
+	frames := faultTestFrames(t, n, 8)
+	// 5 failures before success, but only 2 total attempts allowed.
+	plan := fault.NewPlan(1, fault.FrameFault{Frame: 2, Kind: fault.IOError, Attempts: 5})
+	cfg := degradedConfig(core.Params{NS: 1, NZS: 1, NZT: 1})
+	cfg.Retry.MaxAttempts = 2
+	var emitted int
+	st, err := stream.Stream(fault.WrapSource(stream.Grids(frames), plan), cfg,
+		func(int, *core.Result) error { emitted++; return nil })
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if st.Retries != 1 {
+		t.Errorf("Retries = %d, want 1 (one backoff before giving up)", st.Retries)
+	}
+	if st.FramesSkipped != 1 || st.PairsSkipped != 2 || st.Gaps != 1 {
+		t.Errorf("skip counters %+v, want 1 skipped / 2 pairs / 1 gap", st)
+	}
+	if want := n - 1 - 2; emitted != want {
+		t.Errorf("emitted %d pairs, want %d", emitted, want)
+	}
+}
+
+// TestCleanRunZeroDegradedCounters: with faults disabled the degraded-mode
+// counters stay zero and the full pair sequence is emitted — the
+// "fault-injection-disabled behavior is bit-exact" half of the contract.
+func TestCleanRunZeroDegradedCounters(t *testing.T) {
+	const n = 8
+	frames := faultTestFrames(t, n, 12)
+	p := core.Params{NS: 2, NZS: 1, NZT: 2}
+	var opt core.Options
+	want := cleanBaseline(t, frames, p, opt)
+	cfg := degradedConfig(p)
+	var got []*core.Result
+	st, err := stream.Stream(stream.Grids(frames), cfg, func(_ int, res *core.Result) error {
+		got = append(got, res)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if st.Retries != 0 || st.FramesSkipped != 0 || st.PairsSkipped != 0 || st.PairsFailed != 0 || st.Gaps != 0 {
+		t.Errorf("clean run reported degraded work: %+v", st)
+	}
+	if len(got) != n-1 {
+		t.Fatalf("emitted %d pairs, want %d", len(got), n-1)
+	}
+	for i := range want {
+		if !got[i].Flow.Equal(want[i].Flow) {
+			t.Errorf("pair %d differs from pairwise baseline under degraded config", i)
+		}
+	}
+}

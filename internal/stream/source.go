@@ -17,11 +17,13 @@ func Frames(frames []core.Frame) Source {
 
 // Grids returns a monocular Source over an intensity sequence, each image
 // standing in for its own surface (the paper's monocular mode) — the
-// adapter internal/sequence feeds the pipeline with.
+// adapter internal/sequence feeds the pipeline with. Errors carry no
+// frame index of their own: the pipeline attaches it (exactly once) as a
+// *FrameError.
 func Grids(frames []*grid.Grid) Source {
 	return Func(len(frames), func(i int) (core.Frame, error) {
 		if frames[i] == nil {
-			return core.Frame{}, fmt.Errorf("stream: frame %d is nil", i)
+			return core.Frame{}, fmt.Errorf("nil frame")
 		}
 		return core.MonocularFrame(frames[i]), nil
 	})
@@ -29,7 +31,10 @@ func Grids(frames []*grid.Grid) Source {
 
 // Func returns a Source of n frames rendered lazily by render(i) — the
 // adapter for synthetic scenes (internal/synth) and any other generator
-// that can materialize frame i on demand.
+// that can materialize frame i on demand. A failed render does not
+// advance the cursor, so a retry re-renders the same frame; the source
+// implements Skipper, so a SkipPolicy can step past a frame whose render
+// keeps failing.
 func Func(n int, render func(i int) (core.Frame, error)) Source {
 	return &funcSource{n: n, render: render}
 }
@@ -49,6 +54,13 @@ func (s *funcSource) Next() (core.Frame, error) {
 	}
 	s.i++
 	return f, nil
+}
+
+// SkipFrame steps past the frame whose render last failed (see Skipper).
+func (s *funcSource) SkipFrame() {
+	if s.i < s.n {
+		s.i++
+	}
 }
 
 // Paths returns a monocular Source reading one image file per frame via

@@ -12,14 +12,26 @@
 // cache size. The conformance suite (golden fixtures, the equivalence
 // matrix in stream_test.go, FuzzPipelineScheduling) enforces that claim;
 // see docs/PIPELINE.md.
+//
+// Real feeds carry damage — dropped scan lines, truncated files,
+// transient I/O errors — so the pipeline also has a degraded mode:
+// RetryPolicy re-reads transiently failing frames with backoff,
+// SkipPolicy drops persistently bad frames and resynchronizes pairing on
+// the next good one, a core.QualityGate rejects damaged pixels before
+// they poison surface fits, and IsolatePairs confines per-pair tracking
+// failures to their pair. Surviving pairs remain bit-identical to the
+// same pairs of an undamaged run; see docs/ROBUSTNESS.md.
 package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"sma/internal/core"
 )
@@ -50,40 +62,84 @@ type Config struct {
 	// (0 = Workers). At most Window + Workers assembled pairs are in
 	// flight ahead of the collector, which bounds peak memory.
 	Window int
+
+	// Retry re-reads frames whose Next failed transiently (zero value:
+	// one attempt, no retry).
+	Retry RetryPolicy
+	// Skip drops frames that stay bad after retrying, resynchronizing
+	// pairing on the next good frame (zero value: first bad frame aborts
+	// the run, the historical behavior).
+	Skip SkipPolicy
+	// Gate rejects damaged frames (NaN/Inf pixels, dead scanlines) before
+	// preparation; rejections follow the Skip policy. nil disables the
+	// check.
+	Gate *core.QualityGate
+	// IsolatePairs confines a per-pair tracking failure to its pair: the
+	// pair is reported through OnPairDrop and Stats.PairsFailed and the
+	// rest of the run continues. false (the default) aborts the run, the
+	// historical behavior. Cancellation always aborts regardless.
+	IsolatePairs bool
+	// OnPairDrop is told about every pair the degraded mode dropped —
+	// skipped (a constituent frame was bad) or failed (tracking errored
+	// under IsolatePairs). It is called on the collector goroutine (the
+	// StreamCtx caller's), in pair order, interleaved correctly with
+	// emit. The cause of a skipped pair unwraps to a *FrameError.
+	OnPairDrop func(pair int, cause error)
 }
 
 // Stats counts the pipeline's per-stage work. FitsComputed/FitsReused
 // make the caching observable: N in-order frames cost exactly N fits,
-// and the 2(N−1) per-pair lookups hit the cache 2(N−1)−N times.
+// and the 2(N−1) per-pair lookups hit the cache 2(N−1)−N times. The
+// degraded-mode counters (Retries, FramesSkipped, PairsSkipped,
+// PairsFailed, Gaps) stay zero on clean runs and make damage observable
+// on dirty ones: dropping k isolated frames of N skips exactly 2k pairs
+// and records k gaps.
 type Stats struct {
-	FramesIn     int64 // frames consumed from the source
-	FitsComputed int64 // core.PrepareFrame executions (cache misses)
-	FitsReused   int64 // cache hits
-	Evictions    int64 // prepared frames dropped by the LRU
-	PairsTracked int64 // motion fields delivered in order
+	FramesIn      int64 // frames consumed from the source
+	FitsComputed  int64 // core.PrepareFrame executions (cache misses)
+	FitsReused    int64 // cache hits
+	Evictions     int64 // prepared frames dropped by the LRU
+	PairsTracked  int64 // motion fields delivered in order
+	Retries       int64 // frame re-reads after transient errors
+	FramesSkipped int64 // frames dropped by the skip policy or gate
+	PairsSkipped  int64 // pairs lost because a constituent frame was dropped
+	PairsFailed   int64 // pairs dropped by per-pair tracking failures
+	Gaps          int64 // maximal runs of consecutive skipped frames
 }
 
 // Source yields the frames of an ordered image sequence. Next returns
-// io.EOF after the final frame; any other error aborts the stream.
+// io.EOF after the final frame. Next must not advance past a frame it
+// failed to deliver: calling it again retries the same frame (the
+// contract RetryPolicy builds on). Sources that can also step past a
+// persistently bad frame implement Skipper, which SkipPolicy requires
+// for source-level failures.
 type Source interface {
 	Next() (core.Frame, error)
 }
 
+// pairJob is one unit handed to the workers: either an assembled pair to
+// track, or (drop != nil) a marker for a pair the producer dropped,
+// forwarded through the ordinary channels so the collector sees every
+// pair index exactly once, in order.
 type pairJob struct {
 	index int
 	prep  *core.Prepared
+	drop  error
 }
 
 type pairResult struct {
-	index int
-	res   *core.Result
+	index  int
+	res    *core.Result
+	err    error
+	failed bool // err came from tracking, not from a dropped frame
 }
 
 // Stream drives the pipeline over the whole source, calling emit once per
 // adjacent frame pair, in pair order (emit(0, ...) is the motion field of
 // frames 0→1). A non-nil error from emit cancels the run and is returned.
 // Each delivered Result is bit-identical to core.TrackSequential on the
-// corresponding pair.
+// corresponding pair. Pairs dropped by the degraded mode are not emitted;
+// Config.OnPairDrop observes them.
 func Stream(src Source, cfg Config, emit func(pair int, res *core.Result) error) (Stats, error) {
 	return StreamCtx(context.Background(), src, cfg, emit)
 }
@@ -144,14 +200,28 @@ func StreamCtx(ctx context.Context, src Source, cfg Config, emit func(pair int, 
 		}
 	}()
 
-	// Producer: reads frames in order, prepares each exactly once through
-	// the LRU, assembles adjacent pairs and feeds the workers. The jobs
+	// Producer: reads frames in order (retrying and skipping per the
+	// degraded-mode policies), prepares each exactly once through the
+	// LRU, assembles adjacent pairs and feeds the workers. The jobs
 	// channel's capacity is the backpressure bound — when the trackers
 	// fall behind, preparation stalls instead of accumulating pairs.
+	retry := cfg.Retry.withDefaults()
+	pr := &producer{
+		src:   src,
+		p:     cfg.Params,
+		gate:  cfg.Gate,
+		retry: retry,
+		skip:  cfg.Skip,
+		cache: newLRU(cacheSize),
+		jobs:  jobs,
+		stop:  stop,
+		st:    &st,
+		rng:   rand.New(rand.NewSource(retry.Seed)),
+	}
 	prodErr := make(chan error, 1)
 	go func() {
 		defer close(jobs)
-		prodErr <- produce(src, cfg.Params, cacheSize, jobs, stop, &st)
+		prodErr <- pr.run()
 	}()
 
 	var wg sync.WaitGroup
@@ -160,6 +230,16 @@ func StreamCtx(ctx context.Context, src Source, cfg Config, emit func(pair int, 
 		go func() {
 			defer wg.Done()
 			for job := range jobs {
+				if job.drop != nil {
+					// A pair the producer dropped: forward the marker so
+					// the collector keeps strict pair ordering.
+					select {
+					case results <- pairResult{index: job.index, err: job.drop}:
+					case <-stop:
+						return
+					}
+					continue
+				}
 				sm := core.BuildSemiMap(job.prep)
 				rowWorkers := cfg.RowWorkers
 				if rowWorkers < 1 {
@@ -170,6 +250,15 @@ func StreamCtx(ctx context.Context, src Source, cfg Config, emit func(pair int, 
 				// TrackPrepared at every row-worker count.
 				res, err := core.TrackPreparedParallelCtx(ctx, job.prep, sm, cfg.Options, rowWorkers)
 				if err != nil {
+					if cfg.IsolatePairs && ctx.Err() == nil {
+						// Per-pair failure isolation: report this pair
+						// failed and keep tracking the others.
+						select {
+						case results <- pairResult{index: job.index, err: err, failed: true}:
+							continue
+						case <-stop:
+						}
+					}
 					cancel()
 					return
 				}
@@ -187,8 +276,10 @@ func StreamCtx(ctx context.Context, src Source, cfg Config, emit func(pair int, 
 	}()
 
 	// Collector: re-establishes pair order before emitting. The pending
-	// map is bounded by the number of in-flight pairs.
-	pending := make(map[int]*core.Result)
+	// map is bounded by the number of in-flight pairs. Dropped pairs are
+	// counted and reported here so OnPairDrop interleaves with emit in
+	// strict pair order on the caller's goroutine.
+	pending := make(map[int]pairResult)
 	next := 0
 	var emitErr error
 	for r := range results {
@@ -202,14 +293,26 @@ func StreamCtx(ctx context.Context, src Source, cfg Config, emit func(pair int, 
 			continue
 		default:
 		}
-		pending[r.index] = r.res
+		pending[r.index] = r
 		for {
-			res, ok := pending[next]
+			cur, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
-			if err := emit(next, res); err != nil {
+			if cur.err != nil {
+				if cur.failed {
+					st.PairsFailed++
+				} else {
+					st.PairsSkipped++
+				}
+				if cfg.OnPairDrop != nil {
+					cfg.OnPairDrop(next, cur.err)
+				}
+				next++
+				continue
+			}
+			if err := emit(next, cur.res); err != nil {
 				emitErr = err
 				cancel()
 				break
@@ -229,41 +332,98 @@ func StreamCtx(ctx context.Context, src Source, cfg Config, emit func(pair int, 
 	return st, err
 }
 
-// produce runs in its own goroutine; it is the only writer of the cache
+// errStopped tells the producer loop the pipeline was cancelled while it
+// was waiting (e.g. in a retry backoff); the run's error comes from ctx.
+var errStopped = errors.New("stream: stopped")
+
+// producer runs in its own goroutine; it is the only writer of the cache
 // and of the producer-side counters.
-func produce(src Source, p core.Params, cacheSize int, jobs chan<- pairJob, stop <-chan struct{}, st *Stats) error {
-	cache := newLRU(cacheSize)
+type producer struct {
+	src   Source
+	p     core.Params
+	gate  *core.QualityGate
+	retry RetryPolicy
+	skip  SkipPolicy
+	cache *lru
+	jobs  chan<- pairJob
+	stop  <-chan struct{}
+	st    *Stats
+	rng   *rand.Rand
+}
+
+func (pr *producer) run() error {
 	var prev core.Frame
-	idx := 0
+	prevIdx := -1 // frame index of prev while prev is pairable
+	idx := 0      // index of the frame the next Next() addresses
+	skipped := 0
+	inGap := false
+	var lastSkipErr error
 	for {
-		f, err := src.Next()
+		f, err := pr.nextFrame()
 		if err == io.EOF {
 			break
 		}
-		if err != nil {
-			return fmt.Errorf("stream: frame %d: %w", idx, err)
+		if err == errStopped {
+			return nil
 		}
-		st.FramesIn++
+		var fe *FrameError
+		if err != nil {
+			fe = frameError(idx, err)
+		} else {
+			pr.st.FramesIn++
+			if pr.gate != nil {
+				if gerr := pr.gate.Check(f); gerr != nil {
+					fe = &FrameError{Frame: idx, Err: gerr}
+				}
+			}
+		}
+		if fe != nil {
+			if !pr.skip.allows(skipped, fe) {
+				return fe
+			}
+			if err != nil {
+				// The source never delivered this frame, so it must be
+				// stepped past explicitly; a source that cannot skip makes
+				// the failure fatal. (Gate rejections consumed the frame.)
+				sk, ok := pr.src.(Skipper)
+				if !ok {
+					return fe
+				}
+				sk.SkipFrame()
+			}
+			skipped++
+			pr.st.FramesSkipped++
+			if !inGap {
+				pr.st.Gaps++
+				inGap = true
+			}
+			lastSkipErr = fe
+			// Dropping frame idx kills pair idx−1 (frames idx−1, idx).
+			// Pair idx (frames idx, idx+1) is reported when frame idx+1
+			// is processed — every pair exactly once, at its right end.
+			if idx > 0 && !pr.sendDrop(idx-1, fe) {
+				return nil
+			}
+			prevIdx = -1
+			idx++
+			continue
+		}
+		inGap = false
 		if idx > 0 {
-			p0, err := framePrep(cache, idx-1, prev, p, st)
-			if err != nil {
-				return err
-			}
-			p1, err := framePrep(cache, idx, f, p, st)
-			if err != nil {
-				return err
-			}
-			prep, err := core.AssemblePair(p0, p1)
-			if err != nil {
-				return fmt.Errorf("stream: pair %d→%d: %w", idx-1, idx, err)
-			}
-			select {
-			case jobs <- pairJob{index: idx - 1, prep: prep}:
-			case <-stop:
+			if prevIdx == idx-1 {
+				if err := pr.sendPair(idx-1, prev, f); err != nil {
+					if err == errStopped {
+						return nil
+					}
+					return err
+				}
+			} else if !pr.sendDrop(idx-1, lastSkipErr) {
+				// Left endpoint was dropped earlier: pair idx−1 is
+				// unpairable; resynchronize on this good frame.
 				return nil
 			}
 		}
-		prev = f
+		prev, prevIdx = f, idx
 		idx++
 	}
 	if idx < 2 {
@@ -272,26 +432,85 @@ func produce(src Source, p core.Params, cacheSize int, jobs chan<- pairJob, stop
 	return nil
 }
 
+// nextFrame reads the next frame, retrying transient failures per the
+// retry policy with jittered exponential backoff.
+func (pr *producer) nextFrame() (core.Frame, error) {
+	attempts := 0
+	for {
+		f, err := pr.src.Next()
+		if err == nil || err == io.EOF {
+			return f, err
+		}
+		attempts++
+		if attempts >= pr.retry.MaxAttempts || !pr.retry.Transient(err) {
+			return core.Frame{}, err
+		}
+		pr.st.Retries++
+		select {
+		case <-time.After(pr.retry.backoff(attempts, pr.rng)):
+		case <-pr.stop:
+			return core.Frame{}, errStopped
+		}
+	}
+}
+
+// sendPair prepares and assembles the pair (i, i+1) = (f0, f1) and feeds
+// it to the workers. Returns errStopped if the pipeline shut down.
+func (pr *producer) sendPair(pair int, f0, f1 core.Frame) error {
+	p0, err := pr.framePrep(pair, f0)
+	if err != nil {
+		return err
+	}
+	p1, err := pr.framePrep(pair+1, f1)
+	if err != nil {
+		return err
+	}
+	prep, err := core.AssemblePair(p0, p1)
+	if err != nil {
+		return fmt.Errorf("stream: pair %d→%d: %w", pair, pair+1, err)
+	}
+	select {
+	case pr.jobs <- pairJob{index: pair, prep: prep}:
+		return nil
+	case <-pr.stop:
+		return errStopped
+	}
+}
+
+// sendDrop forwards a dropped-pair marker to the workers, reporting
+// whether the pipeline is still running.
+func (pr *producer) sendDrop(pair int, cause error) bool {
+	select {
+	case pr.jobs <- pairJob{index: pair, drop: cause}:
+		return true
+	case <-pr.stop:
+		return false
+	}
+}
+
 // framePrep returns frame i's preparation, fitting it only on a cache
 // miss. Eviction never loses work already referenced by an in-flight
 // pair: the cache holds plain references, so dropped entries stay alive
 // until their pairs finish tracking.
-func framePrep(cache *lru, i int, f core.Frame, p core.Params, st *Stats) (*core.FramePrep, error) {
-	if fp, ok := cache.get(i); ok {
-		st.FitsReused++
+func (pr *producer) framePrep(i int, f core.Frame) (*core.FramePrep, error) {
+	if fp, ok := pr.cache.get(i); ok {
+		pr.st.FitsReused++
 		return fp, nil
 	}
-	fp, err := core.PrepareFrame(f, p)
+	fp, err := core.PrepareFrame(f, pr.p)
 	if err != nil {
-		return nil, fmt.Errorf("stream: frame %d: %w", i, err)
+		return nil, frameError(i, err)
 	}
-	st.FitsComputed++
-	st.Evictions += int64(cache.put(i, fp))
+	pr.st.FitsComputed++
+	pr.st.Evictions += int64(pr.cache.put(i, fp))
 	return fp, nil
 }
 
 // Run streams the whole source and returns the FramesIn−1 pair results in
-// order: Run(...)[i] tracks frames i→i+1.
+// order: Run(...)[i] tracks frames i→i+1. With a SkipPolicy enabled,
+// dropped pairs are absent from the returned slice and positional
+// correspondence is lost — degraded-mode callers should use Stream with
+// OnPairDrop instead.
 func Run(src Source, cfg Config) ([]*core.Result, Stats, error) {
 	return RunCtx(context.Background(), src, cfg)
 }

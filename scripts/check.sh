@@ -31,6 +31,14 @@ echo "== golden + stream equivalence (-race)"
 go test -race -run 'Golden|Stream|TrackStats|PrepareFrame' \
     ./internal/core ./internal/stream ./internal/sequence || fail=1
 
+# The robustness lock (docs/ROBUSTNESS.md): fault injection, degraded-
+# mode counters/bit-identity, pair isolation, and pool drain/TTL races,
+# run by name under the race detector for the same reason as above.
+echo "== fault injection + degraded mode (-race)"
+go test -race ./internal/fault || fail=1
+go test -race -run 'Fault|Degraded|Chaos|Skip|Retry|FrameError|Pool|TTL|Expired|Truncat' \
+    ./internal/stream ./internal/server ./internal/ingest ./internal/grid || fail=1
+
 echo "== stream throughput smoke"
 go run ./cmd/smabench -only stream -size 32 -frames 4 \
     -bench-out /tmp/BENCH_stream.json || fail=1
@@ -40,6 +48,12 @@ go run ./cmd/smabench -only stream -size 32 -frames 4 \
 # SIGTERM drain.
 echo "== serve smoke"
 sh scripts/serve_smoke.sh || fail=1
+
+# End-to-end chaos smoke (docs/ROBUSTNESS.md): real smaserve process
+# driven through seeded fault schedules, asserting exact degraded-mode
+# counters, bit-identical surviving pairs, and no goroutine leaks.
+echo "== chaos smoke"
+sh scripts/chaos_smoke.sh || fail=1
 
 if [ "$fail" -ne 0 ]; then
     echo "check: FAILED"
