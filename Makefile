@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet smavet race fuzz-smoke fmt serve-smoke chaos-smoke
+.PHONY: all build test check vet smavet race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke
 
 all: build
 
@@ -50,6 +50,13 @@ serve-smoke:
 # smachaos, asserting the degraded-mode contract (docs/ROBUSTNESS.md).
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
+
+# bench-smoke: short-form kernel microbenchmarks plus the tracking
+# throughput experiment (smabench -only track), gated on bit-identity
+# and a >= 2x serial speedup over the naive reference kernel
+# (docs/PERFORMANCE.md).
+bench-smoke:
+	sh scripts/bench_smoke.sh
 
 fmt:
 	gofmt -w .

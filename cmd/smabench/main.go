@@ -23,7 +23,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smabench: ")
 	var (
-		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,stream,serve,chaos")
+		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,track,stream,serve,chaos")
 		size     = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
 		seed     = flag.Int64("seed", 5, "scene seed for the functional experiments")
 		report   = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
@@ -34,6 +34,7 @@ func main() {
 		clients  = flag.Int("clients", 8, "concurrent clients for the serve benchmark")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "where the serve benchmark writes its latency trajectory point")
 		chaosOut = flag.String("chaos-out", "BENCH_chaos.json", "where the chaos experiment writes its robustness trajectory point")
+		trackOut = flag.String("track-out", "BENCH_track.json", "where the track benchmark writes its kernel-throughput trajectory point")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -192,6 +193,33 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if run("track") {
+		r, err := eval.TrackThroughputExperiment(*size, *workers, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Tracking kernel — hoisted vs naive per-hypothesis evaluation")
+		fmt.Printf("  %d×%d semi-fluid pair, %d hypotheses × %d template pixels per tracked pixel\n",
+			r.Size, r.Size, r.Hypotheses, r.TemplatePixels)
+		fmt.Printf("  reference: %.3fs (%.0f px/s, %.0f ns/hyp)\n",
+			r.ReferenceSec, r.PixelsPerSecRef, r.NsPerHypothesisRef)
+		fmt.Printf("  optimized: %.3fs (%.0f px/s, %.0f ns/hyp)   speedup %.2fx\n",
+			r.OptimizedSec, r.PixelsPerSec, r.NsPerHypothesis, r.SpeedupVsReference)
+		fmt.Printf("  parallel (%d workers): %.3fs (%.0f px/s)   speedup %.2fx\n",
+			r.Workers, r.ParallelSec, r.PixelsPerSecParallel, r.SpeedupParallel)
+		fmt.Printf("  bit-identical to reference kernel: %v\n", r.BitIdentical)
+		f, err := os.Create(*trackOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n\n", *trackOut)
+	}
 	if run("stream") {
 		r, err := eval.StreamThroughputExperiment(*size, *frames, *workers, *seed)
 		if err != nil {
@@ -226,8 +254,8 @@ func main() {
 		fmt.Println("HTTP serving — smaserve under concurrent load, bit-identity verified")
 		fmt.Printf("  %d requests at concurrency %d, %d×%d frames\n",
 			r.Requests, r.Concurrency, r.Size, r.Size)
-		fmt.Printf("  errors: %d   backpressure rejections retried: %d   mismatches: %d\n",
-			r.Errors, r.Rejected, r.Mismatches)
+		fmt.Printf("  errors: %d   backpressure retries: %d   rejected: %d   mismatches: %d\n",
+			r.Errors, r.Retries, r.Rejected, r.Mismatches)
 		fmt.Printf("  %.1f req/s   latency p50 %.0fms  p90 %.0fms  p99 %.0fms  max %.0fms\n",
 			r.ReqPerSec, r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
 		fmt.Printf("  bit-identical to sequential tracker: %v\n", r.BitIdentical)

@@ -71,7 +71,8 @@ func main() {
 
 	fmt.Printf("requests     %d (concurrency %d)\n", res.Requests, res.Concurrency)
 	fmt.Printf("errors       %d\n", res.Errors)
-	fmt.Printf("rejected     %d (backpressure 429/503)\n", res.Rejected)
+	fmt.Printf("retried      %d (backpressure 429/503, retried after Retry-After)\n", res.Retries)
+	fmt.Printf("rejected     %d (gave up while still pushed back)\n", res.Rejected)
 	if *verify {
 		fmt.Printf("mismatches   %d (bit-identity vs local track)\n", res.Mismatches)
 	}

@@ -22,6 +22,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +46,7 @@ func main() {
 		maxFrames    = flag.Int("max-frames", 0, "job sequence length cap (0 = 512)")
 		maxPixels    = flag.Int("max-pixels", 0, "frame area cap in pixels (0 = 2048²)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain bound")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -74,6 +76,24 @@ func main() {
 		}
 	}
 	log.Printf("listening on %s", ln.Addr())
+
+	// Profiling is opt-in and served on its own listener so the debug
+	// surface never shares a port with the public API. The import above
+	// registers the /debug/pprof/* handlers on http.DefaultServeMux; the
+	// main handler uses its own mux and is unaffected.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen %s: %v", *pprofAddr, err)
+		}
+		log.Printf("pprof listening on %s", pln.Addr())
+		go func() {
+			psrv := &http.Server{ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

@@ -144,6 +144,47 @@ func TestLoaderResolvesModuleImports(t *testing.T) {
 	}
 }
 
+// TestLoaderHonorsBuildConstraints loads internal/core, which holds a
+// mutually exclusive build-tagged pair (kernel_default.go !smaref,
+// kernel_smaref.go smaref). Without constraint evaluation both files
+// type-check together and useReferenceKernel is a duplicate declaration.
+func TestLoaderHonorsBuildConstraints(t *testing.T) {
+	loaderOnce.Do(func() {
+		loaderVal, loaderErr = NewLoader(filepath.Join("..", ".."))
+	})
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	pkg, err := loaderVal.LoadDir(filepath.Join("internal", "core"))
+	if err != nil {
+		t.Fatalf("LoadDir(internal/core): %v", err)
+	}
+	if obj := pkg.Types.Scope().Lookup("useReferenceKernel"); obj == nil {
+		t.Fatal("useReferenceKernel not declared in loaded package")
+	}
+	for _, f := range pkg.Files {
+		name := filepath.Base(loaderVal.Fset.Position(f.Pos()).Filename)
+		if name == "kernel_smaref.go" {
+			t.Fatal("smaref-tagged file loaded under default build config")
+		}
+	}
+}
+
+// TestBuildTagDefaults pins the tag evaluation: host platform and release
+// tags satisfied, custom tags not.
+func TestBuildTagDefaults(t *testing.T) {
+	for _, tag := range []string{"gc", "go1", "go1.21"} {
+		if !defaultBuildTag(tag) {
+			t.Errorf("tag %q should be satisfied", tag)
+		}
+	}
+	for _, tag := range []string{"smaref", "gofuzz", "go2something", "tinygo"} {
+		if defaultBuildTag(tag) {
+			t.Errorf("tag %q should not be satisfied", tag)
+		}
+	}
+}
+
 // TestLoaderRejectsOutsideModule pins the module boundary.
 func TestLoaderRejectsOutsideModule(t *testing.T) {
 	loaderOnce.Do(func() {

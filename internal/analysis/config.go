@@ -34,12 +34,18 @@ func DefaultConfig() *Config {
 		KernelFuncs: set(
 			// core tracker inner loop
 			"trackPixel", "trackPixelFrom", "score",
-			"accumulateSMA", "residualSum", "rowResiduals",
-			"solveMotion", "symmetrize", "robustRefine",
+			"preparePixel", "scoreHyp",
+			"accumulateA", "accumulateB",
+			"residualSum", "residualSumBounded", "rowResiduals",
+			"solveMotion", "factorMotion", "solveFactored",
+			"symmetrize", "robustRefine",
+			// build-tagged reference kernel (same hot-path discipline)
+			"scoreReference", "trackPixelFromReference",
 			// surface fit per-pixel path
 			"Fit",
 			// linear algebra per-elimination path
 			"Solve6", "Cholesky6", "AccumulateNormal",
+			"Factor6", "SolveFactored6",
 		),
 		NarrowSinks: set(
 			"Set", "Fill", "SetScalar", "AddScalar", "MulScalar", "Broadcast",

@@ -1,14 +1,17 @@
 package analysis
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -106,6 +109,13 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
 			continue
 		}
+		include, err := buildConstraintSatisfied(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		if !include {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -136,6 +146,52 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.cache[path] = pkg
 	return pkg, nil
+}
+
+// buildConstraintSatisfied reports whether the file's //go:build line (if
+// any) is satisfied under the default build configuration: host GOOS/GOARCH,
+// the gc compiler, and all go1.x release tags true; custom tags (such as the
+// smaref reference-kernel tag) false. Files whose constraint fails are
+// skipped, exactly as `go build` would skip them, so mutually exclusive
+// build-tagged file pairs no longer type-check as duplicate declarations.
+// Only the header before the package clause is scanned, matching the
+// constraint placement rules the go tool enforces.
+func buildConstraintSatisfied(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return false, fmt.Errorf("analysis: %s: %w", path, err)
+		}
+		return expr.Eval(defaultBuildTag), nil
+	}
+	return true, sc.Err()
+}
+
+// defaultBuildTag evaluates a single build tag under the default
+// configuration (no custom -tags).
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+		return true
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1"); ok {
+		return rest == "" || strings.HasPrefix(rest, ".")
+	}
+	return false
 }
 
 // moduleImporter routes module-internal import paths to the loader and

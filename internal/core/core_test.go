@@ -470,14 +470,15 @@ func TestRobustRefineDownweightsOutliers(t *testing.T) {
 			r1 -= 3
 		}
 		k := i * bufStride
-		buf[k] = zx
-		buf[k+1] = zy
-		buf[k+2] = r0
-		buf[k+3] = r1
-		buf[k+4] = r2
-		buf[k+5] = 1
-		buf[k+6] = 1
-		accumulateSMA(&a, &b, zx, zy, r0, r1, r2, 1, 1)
+		buf[k+bufZx] = zx
+		buf[k+bufZy] = zy
+		buf[k+bufR0] = r0
+		buf[k+bufR1] = r1
+		buf[k+bufR2] = r2
+		buf[k+bufW0] = 1
+		buf[k+bufW1] = 1
+		accumulateA(&a, zx, zy, 1, 1)
+		accumulateB(&b, zx, zy, r0, r1, r2, 1, 1)
 	}
 	symmetrize(&a)
 	plain := solveMotion(&a, &b)

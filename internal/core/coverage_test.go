@@ -18,7 +18,8 @@ func TestSolveMotionRidgeFallback(t *testing.T) {
 	var a la.Mat6
 	var b la.Vec6
 	// Accumulate flat-surface rows: zx = zy = 0.
-	accumulateSMA(&a, &b, 0, 0, 0.1, -0.1, 0.05, 1, 1)
+	accumulateA(&a, 0, 0, 1, 1)
+	accumulateB(&b, 0, 0, 0.1, -0.1, 0.05, 1, 1)
 	symmetrize(&a)
 	theta := solveMotion(&a, &b)
 	for i, v := range theta {

@@ -1,0 +1,9 @@
+//go:build !smaref
+
+package core
+
+// useReferenceKernel routes the tracker through the retained naive kernel
+// (reference.go) when the smaref build tag is set. The default build uses
+// the hoisted kernel; results are bit-identical either way (see
+// docs/PERFORMANCE.md).
+const useReferenceKernel = false

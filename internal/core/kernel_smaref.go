@@ -1,0 +1,10 @@
+//go:build smaref
+
+package core
+
+// useReferenceKernel: this build (-tags smaref) routes the tracker through
+// the retained naive kernel in reference.go — every hypothesis rebuilds
+// and eliminates the full normal equations, with no early exit. Useful for
+// re-deriving the BENCH_track.json baseline or bisecting a suspected
+// kernel divergence; results are bit-identical to the default build.
+const useReferenceKernel = true

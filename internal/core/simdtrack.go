@@ -99,45 +99,62 @@ func TrackSIMDContinuous(m *maspar.Machine, pair Pair, p Params, scheme maspar.F
 			}
 			bestE := math.Inf(1)
 			bestHX, bestHY := 0, 0
-			score := func(hx, hy int) float64 {
-				var a la.Mat6
+			// Hypothesis-invariant pass: the gathered before-geometry and
+			// the normal-equation matrix depend only on (x, y), so cache
+			// the template invariants, accumulate A and factor it once —
+			// the same hoisting the host tracker's preparePixel performs.
+			var a la.Mat6
+			k := 0
+			for dy := -try; dy <= try; dy++ {
+				for dx := -trx; dx <= trx; dx++ {
+					zx := float64(zxN.At(x, y, dx, dy))
+					zy := float64(zyN.At(x, y, dx, dy))
+					scale := math.Sqrt(1 + zx*zx + zy*zy)
+					w0 := 1 / float64(eN.At(x, y, dx, dy))
+					w1 := 1 / float64(gN.At(x, y, dx, dy))
+					accumulateA(&a, zx, zy, w0, w1)
+					nbuf[k+bufZx] = zx
+					nbuf[k+bufZy] = zy
+					nbuf[k+bufScale] = scale
+					nbuf[k+bufW0] = w0
+					nbuf[k+bufW1] = w1
+					k += bufStride
+				}
+			}
+			symmetrize(&a)
+			var mf motionFactor
+			mf.factorMotion(&a)
+			score := func(hx, hy int, bound float64) (float64, bool) {
 				var b la.Vec6
 				k := 0
 				for dy := -try; dy <= try; dy++ {
 					for dx := -trx; dx <= trx; dx++ {
-						zx := float64(zxN.At(x, y, dx, dy))
-						zy := float64(zyN.At(x, y, dx, dy))
-						scale := math.Sqrt(1 + zx*zx + zy*zy)
+						zx := nbuf[k+bufZx]
+						zy := nbuf[k+bufZy]
+						scale := nbuf[k+bufScale]
 						ni := float64(niN.At(x, y, dx+hx, dy+hy))
 						nj := float64(njN.At(x, y, dx+hx, dy+hy))
 						nk := float64(nkN.At(x, y, dx+hx, dy+hy))
 						rhs0 := scale*ni + zx
 						rhs1 := scale*nj + zy
 						rhs2 := scale*nk - 1
-						w0 := 1 / float64(eN.At(x, y, dx, dy))
-						w1 := 1 / float64(gN.At(x, y, dx, dy))
-						accumulateSMA(&a, &b, zx, zy, rhs0, rhs1, rhs2, w0, w1)
-						nbuf[k] = zx
-						nbuf[k+1] = zy
-						nbuf[k+2] = rhs0
-						nbuf[k+3] = rhs1
-						nbuf[k+4] = rhs2
-						nbuf[k+5] = w0
-						nbuf[k+6] = w1
+						accumulateB(&b, zx, zy, rhs0, rhs1, rhs2, nbuf[k+bufW0], nbuf[k+bufW1])
+						nbuf[k+bufR0] = rhs0
+						nbuf[k+bufR1] = rhs1
+						nbuf[k+bufR2] = rhs2
 						k += bufStride
 					}
 				}
-				symmetrize(&a)
-				theta := solveMotion(&a, &b)
-				return residualSum(nbuf[:k], &theta)
+				theta := mf.solveFactored(&b)
+				return residualSumBounded(nbuf[:k], &theta, bound)
 			}
-			bestE = score(0, 0)
+			bestE, _ = score(0, 0, math.Inf(1))
 			for hy := -sry; hy <= sry; hy++ {
 				for hx := -srx; hx <= srx; hx++ {
 					if hx == 0 && hy == 0 {
 						continue
 					}
-					if e := score(hx, hy); e < bestE {
+					if e, pruned := score(hx, hy, bestE); !pruned && e < bestE {
 						bestE = e
 						bestHX, bestHY = hx, hy
 					}

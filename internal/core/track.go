@@ -41,19 +41,52 @@ type Options struct {
 // component has unit weight). Minimizing Σ w·r² over θ is linear least
 // squares — "another system of linear equations ... solved using
 // Gaussian-elimination" — and the minimized sum is the hypothesis error ε.
+//
+// Cost structure of the search: L (and hence the normal-equation matrix A)
+// depends only on the template pixels of the tracked pixel, not on the
+// hypothesis offset — only the right-hand side b does, through the
+// after-motion normals at q = p + h (+ δ). The optimized kernel therefore
+// runs one A-pass per tracked pixel (preparePixel: cache {zx, zy, |n0|,
+// 1/E, 1/G} per template pixel, accumulate A, factor it once) and one
+// b-pass per hypothesis (scoreHyp: accumulate b, forward/back-substitute
+// on the stored factorization, sum residuals with an early exit against
+// the best ε so far). Every step replays the reference kernel's arithmetic
+// sequence, so results are bit-identical to it (see reference.go and the
+// golden conformance suite).
 type tracker struct {
 	prep *Prepared
 	sm   *SemiMap
 	opt  Options
 
-	// buf caches per-template-pixel quantities between the accumulation
-	// pass and the ε pass: zx, zy, rhs0..2, w0, w1 (7 values per pixel).
-	// It is sized once at construction so the per-pixel kernel never
-	// allocates.
+	// buf caches per-template-pixel quantities (bufStride values per
+	// pixel): the hypothesis-invariant slots are written once per tracked
+	// pixel by preparePixel, the rhs slots once per hypothesis by the
+	// b-pass. It is sized once at construction so the per-pixel kernel
+	// never allocates.
 	buf []float64
+
+	// mf is the factored normal-equation matrix of the current pixel.
+	mf motionFactor
+
+	// noEarlyExit disables the ε early exit (test hook: the argmin must be
+	// bit-identical with the exit on and off).
+	noEarlyExit bool
 }
 
-const bufStride = 7
+// buf slot layout. The first five slots are hypothesis-invariant; the
+// three rhs slots are rewritten by each hypothesis's b-pass.
+const (
+	bufZx    = 0 // surface slope ∂z/∂x at the template pixel
+	bufZy    = 1 // surface slope ∂z/∂y
+	bufScale = 2 // |n0| = √(1 + zx² + zy²)
+	bufW0    = 3 // 1/E residual weight
+	bufW1    = 4 // 1/G residual weight
+	bufR0    = 5 // rhs of residual row 0
+	bufR1    = 6 // rhs of residual row 1
+	bufR2    = 7 // rhs of residual row 2
+
+	bufStride = 8
+)
 
 // newTracker builds a tracker with its scratch buffer pre-sized for the
 // template window, keeping score/trackPixel allocation-free.
@@ -64,7 +97,23 @@ func newTracker(prep *Prepared, sm *SemiMap, opt Options) *tracker {
 }
 
 // score evaluates ε(x, y; x+hx, y+hy) and the fitted motion parameters.
+// Standalone single-hypothesis entry point; the search loop calls
+// preparePixel once and scoreHyp per hypothesis instead.
 func (t *tracker) score(x, y, hx, hy int) (eps float64, theta la.Vec6) {
+	if useReferenceKernel {
+		return t.scoreReference(x, y, hx, hy)
+	}
+	t.preparePixel(x, y)
+	eps, theta, _ = t.scoreHyp(x, y, hx, hy, math.Inf(1))
+	return eps, theta
+}
+
+// preparePixel runs the hypothesis-invariant half of the kernel for
+// tracked pixel (x, y): it caches the template-pixel geometry in buf,
+// accumulates the normal-equation matrix A, and factors it (with the same
+// ridge fallback solveMotion applies) so every hypothesis of the ensuing
+// search solves by substitution only.
+func (t *tracker) preparePixel(x, y int) {
 	p := t.prep.P
 	rx := p.TemplateRX()
 	ry := p.TemplateRY()
@@ -72,55 +121,146 @@ func (t *tracker) score(x, y, hx, hy int) (eps float64, theta la.Vec6) {
 	buf := t.buf[:n*bufStride]
 
 	g0 := t.prep.G0
-	g1 := t.prep.G1
 	var a la.Mat6
-	var b la.Vec6
 	k := 0
 	for dy := -ry; dy <= ry; dy++ {
 		for dx := -rx; dx <= rx; dx++ {
 			px := x + dx
 			py := y + dy
-			qx := x + hx + dx
-			qy := y + hy + dy
-			if t.sm != nil && px >= 0 && px < t.prep.W && py >= 0 && py < t.prep.H {
-				ddx, ddy := t.sm.Delta(px, py, hx, hy)
-				qx += ddx
-				qy += ddy
-			}
 			zx := float64(g0.Zx.At(px, py))
 			zy := float64(g0.Zy.At(px, py))
 			scale := math.Sqrt(1 + zx*zx + zy*zy)
-			ni, nj, nk := g1.NormalAt(qx, qy)
-			rhs0 := scale*ni + zx // |n0|·ni′ − (−zx)
-			rhs1 := scale*nj + zy
-			rhs2 := scale*nk - 1
 			w0 := 1 / float64(g0.E.At(px, py))
 			w1 := 1 / float64(g0.G.At(px, py))
-			accumulateSMA(&a, &b, zx, zy, rhs0, rhs1, rhs2, w0, w1)
-			buf[k] = zx
-			buf[k+1] = zy
-			buf[k+2] = rhs0
-			buf[k+3] = rhs1
-			buf[k+4] = rhs2
-			buf[k+5] = w0
-			buf[k+6] = w1
+			accumulateA(&a, zx, zy, w0, w1)
+			buf[k+bufZx] = zx
+			buf[k+bufZy] = zy
+			buf[k+bufScale] = scale
+			buf[k+bufW0] = w0
+			buf[k+bufW1] = w1
 			k += bufStride
 		}
 	}
 	symmetrize(&a)
-	theta = solveMotion(&a, &b)
+	t.mf.factorMotion(&a)
+}
+
+// scoreHyp runs the per-hypothesis half of the kernel: accumulate the
+// right-hand side b over the cached template, substitute on the factored
+// A, optionally Huber-refine, and sum the residuals. preparePixel(x, y)
+// must have run for the same pixel.
+//
+// bound is the best ε found so far: because every residual term is a
+// non-negative weighted square, a prefix of the sum reaching bound proves
+// the full ε cannot beat it, so the evaluation stops early (pruned =
+// true). Pruning is exact for the strict ε < bound acceptance test — a
+// pruned hypothesis can never be the argmin — and the winning hypothesis
+// is never pruned, so its returned ε is always the full sum.
+func (t *tracker) scoreHyp(x, y, hx, hy int, bound float64) (eps float64, theta la.Vec6, pruned bool) {
+	p := t.prep.P
+	rx := p.TemplateRX()
+	ry := p.TemplateRY()
+	n := (2*rx + 1) * (2*ry + 1)
+	buf := t.buf[:n*bufStride]
+
+	g1 := t.prep.G1
+	var b la.Vec6
+
+	// Hoist the per-hypothesis half of the semi-fluid lookup: the
+	// hypothesis index and window test depend only on (hx, hy), so the
+	// inner loop reduces to a single slice index per template pixel. An
+	// out-of-window offset (possible under prior-guided search) keeps
+	// smDX nil, matching Delta's δ = 0 early return.
+	var smDX, smDY []int8
+	var smW, smStride, smHIdx, margin int
+	if t.sm != nil && hx >= -t.sm.RX && hx <= t.sm.RX && hy >= -t.sm.RY && hy <= t.sm.RY {
+		smDX, smDY = t.sm.DX, t.sm.DY
+		smW = t.sm.W
+		smStride = t.sm.hyps()
+		smHIdx = t.sm.hypIndex(hx, hy)
+		margin = t.sm.NSS
+	}
+
+	// Interior fast path: when the template window (for the semi-map
+	// lookup) and the displaced window plus the largest possible δ (for
+	// the after-normal lookup) both stay inside their grids, every access
+	// below is in bounds, so the border clamping in Grid.At is a no-op
+	// and direct Data indexing returns bit-identical values.
+	gw, gh := g1.Ni.W, g1.Ni.H
+	k := 0
+	if x-rx >= 0 && x+rx < t.prep.W && y-ry >= 0 && y+ry < t.prep.H &&
+		x+hx-rx-margin >= 0 && x+hx+rx+margin < gw &&
+		y+hy-ry-margin >= 0 && y+hy+ry+margin < gh {
+		niD, njD, nkD := g1.Ni.Data, g1.Nj.Data, g1.Nk.Data
+		for dy := -ry; dy <= ry; dy++ {
+			py := y + dy
+			for dx := -rx; dx <= rx; dx++ {
+				px := x + dx
+				qx := px + hx
+				qy := py + hy
+				if smDX != nil {
+					i := (py*smW+px)*smStride + smHIdx
+					qx += int(smDX[i])
+					qy += int(smDY[i])
+				}
+				qi := qy*gw + qx
+				zx := buf[k+bufZx]
+				zy := buf[k+bufZy]
+				scale := buf[k+bufScale]
+				rhs0 := scale*float64(niD[qi]) + zx
+				rhs1 := scale*float64(njD[qi]) + zy
+				rhs2 := scale*float64(nkD[qi]) - 1
+				accumulateB(&b, zx, zy, rhs0, rhs1, rhs2, buf[k+bufW0], buf[k+bufW1])
+				buf[k+bufR0] = rhs0
+				buf[k+bufR1] = rhs1
+				buf[k+bufR2] = rhs2
+				k += bufStride
+			}
+		}
+	} else {
+		for dy := -ry; dy <= ry; dy++ {
+			for dx := -rx; dx <= rx; dx++ {
+				px := x + dx
+				py := y + dy
+				qx := x + hx + dx
+				qy := y + hy + dy
+				if smDX != nil && px >= 0 && px < t.prep.W && py >= 0 && py < t.prep.H {
+					i := (py*smW+px)*smStride + smHIdx
+					qx += int(smDX[i])
+					qy += int(smDY[i])
+				}
+				zx := buf[k+bufZx]
+				zy := buf[k+bufZy]
+				scale := buf[k+bufScale]
+				ni, nj, nk := g1.NormalAt(qx, qy)
+				rhs0 := scale*ni + zx // |n0|·ni′ − (−zx)
+				rhs1 := scale*nj + zy
+				rhs2 := scale*nk - 1
+				accumulateB(&b, zx, zy, rhs0, rhs1, rhs2, buf[k+bufW0], buf[k+bufW1])
+				buf[k+bufR0] = rhs0
+				buf[k+bufR1] = rhs1
+				buf[k+bufR2] = rhs2
+				k += bufStride
+			}
+		}
+	}
+	theta = t.mf.solveFactored(&b)
 	if t.opt.Robust {
 		theta = robustRefine(buf, theta, t.opt.HuberK)
 	}
-	eps = residualSum(buf, &theta)
-	return eps, theta
+	if t.noEarlyExit {
+		bound = math.Inf(1)
+	}
+	eps, pruned = residualSumBounded(buf, &theta, bound)
+	return eps, theta, pruned
 }
 
-// accumulateSMA adds one template pixel's three weighted residual rows to
-// the normal equations, exploiting the sparsity of L (rows touch
+// accumulateA adds one template pixel's contribution to the
+// normal-equation matrix, exploiting the sparsity of L (rows touch
 // parameters {2,3,4}, {0,1,5} and {0,3} only). Only the upper triangle of
-// A is maintained; symmetrize completes it after the loop.
-func accumulateSMA(a *la.Mat6, b *la.Vec6, zx, zy, rhs0, rhs1, rhs2, w0, w1 float64) {
+// A is maintained; symmetrize completes it after the loop. A depends only
+// on template-pixel geometry, never on the hypothesis.
+func accumulateA(a *la.Mat6, zx, zy, w0, w1 float64) {
 	// Row 0: (0, 0, zy, −zx, −1, 0), weight w0.
 	a[2][2] += w0 * zy * zy
 	a[2][3] += w0 * zy * -zx
@@ -128,9 +268,6 @@ func accumulateSMA(a *la.Mat6, b *la.Vec6, zx, zy, rhs0, rhs1, rhs2, w0, w1 floa
 	a[3][3] += w0 * zx * zx
 	a[3][4] += w0 * zx // (−zx)(−1)
 	a[4][4] += w0
-	b[2] += w0 * zy * rhs0
-	b[3] += w0 * -zx * rhs0
-	b[4] += w0 * -rhs0
 	// Row 1: (−zy, zx, 0, 0, 0, −1), weight w1.
 	a[0][0] += w1 * zy * zy
 	a[0][1] += w1 * -zy * zx
@@ -138,13 +275,25 @@ func accumulateSMA(a *la.Mat6, b *la.Vec6, zx, zy, rhs0, rhs1, rhs2, w0, w1 floa
 	a[1][1] += w1 * zx * zx
 	a[1][5] += w1 * -zx
 	a[5][5] += w1
-	b[0] += w1 * -zy * rhs1
-	b[1] += w1 * zx * rhs1
-	b[5] += w1 * -rhs1
 	// Row 2: (1, 0, 0, 1, 0, 0), weight 1.
 	a[0][0]++
 	a[0][3]++
 	a[3][3]++
+}
+
+// accumulateB adds one template pixel's contribution to the
+// normal-equation right-hand side — the hypothesis-dependent half of the
+// accumulation.
+func accumulateB(b *la.Vec6, zx, zy, rhs0, rhs1, rhs2, w0, w1 float64) {
+	// Row 0: (0, 0, zy, −zx, −1, 0), weight w0.
+	b[2] += w0 * zy * rhs0
+	b[3] += w0 * -zx * rhs0
+	b[4] += w0 * -rhs0
+	// Row 1: (−zy, zx, 0, 0, 0, −1), weight w1.
+	b[0] += w1 * -zy * rhs1
+	b[1] += w1 * zx * rhs1
+	b[5] += w1 * -rhs1
+	// Row 2: (1, 0, 0, 1, 0, 0), weight 1.
 	b[0] += rhs2
 	b[3] += rhs2
 }
@@ -161,15 +310,15 @@ func symmetrize(a *la.Mat6) {
 // rowResiduals returns the three weighted residual terms of one buffered
 // template pixel under parameters θ.
 func rowResiduals(buf []float64, k int, th *la.Vec6) (r0w, r1w, r2w float64) {
-	zx := buf[k]
-	zy := buf[k+1]
+	zx := buf[k+bufZx]
+	zy := buf[k+bufZy]
 	l0 := zy*th[2] - zx*th[3] - th[4]
 	l1 := -zy*th[0] + zx*th[1] - th[5]
 	l2 := th[0] + th[3]
-	r0 := buf[k+2] - l0
-	r1 := buf[k+3] - l1
-	r2 := buf[k+4] - l2
-	return buf[k+5] * r0 * r0, buf[k+6] * r1 * r1, r2 * r2
+	r0 := buf[k+bufR0] - l0
+	r1 := buf[k+bufR1] - l1
+	r2 := buf[k+bufR2] - l2
+	return buf[k+bufW0] * r0 * r0, buf[k+bufW1] * r1 * r1, r2 * r2
 }
 
 // residualSum evaluates ε = Σ w·(rhs − L·θ)² over the buffered template.
@@ -180,6 +329,23 @@ func residualSum(buf []float64, th *la.Vec6) float64 {
 		eps += r0 + r1 + r2
 	}
 	return eps
+}
+
+// residualSumBounded is residualSum with an exact early exit: every term
+// is a non-negative weighted square, so the moment the running prefix
+// reaches bound the full sum is provably ≥ bound and the hypothesis
+// cannot win the strict ε < bound comparison. The prefix accumulates in
+// the same order as residualSum, so an unpruned result is bit-identical
+// to the full sum.
+func residualSumBounded(buf []float64, th *la.Vec6, bound float64) (eps float64, pruned bool) {
+	for k := 0; k < len(buf); k += bufStride {
+		r0, r1, r2 := rowResiduals(buf, k, th)
+		eps += r0 + r1 + r2
+		if eps >= bound {
+			return eps, true
+		}
+	}
+	return eps, false
 }
 
 // robustRefine performs one Huber re-weighted least-squares step on the
@@ -206,10 +372,10 @@ func robustRefine(buf []float64, theta la.Vec6, huberK float64) la.Vec6 {
 	var a la.Mat6
 	var b la.Vec6
 	for i := 0; i < len(buf); i += bufStride {
-		zx := buf[i]
-		zy := buf[i+1]
-		w0 := buf[i+5]
-		w1 := buf[i+6]
+		zx := buf[i+bufZx]
+		zy := buf[i+bufZy]
+		w0 := buf[i+bufW0]
+		w1 := buf[i+bufW1]
 		r0, r1, r2 := rowResiduals(buf, i, &theta)
 		if r0 > thresh2 {
 			w0 *= math.Sqrt(thresh2 / r0)
@@ -226,7 +392,7 @@ func robustRefine(buf []float64, theta la.Vec6, huberK float64) la.Vec6 {
 			{-zy, zx, 0, 0, 0, -1},
 			{1, 0, 0, 1, 0, 0},
 		}
-		rhs := [3]float64{buf[i+2], buf[i+3], buf[i+4]}
+		rhs := [3]float64{buf[i+bufR0], buf[i+bufR1], buf[i+bufR2]}
 		ws := [3]float64{w0, w1, w2}
 		for c := 0; c < 3; c++ {
 			la.AccumulateNormal(&a, &b, &rows[c], rhs[c], ws[c])
@@ -237,7 +403,9 @@ func robustRefine(buf []float64, theta la.Vec6, huberK float64) la.Vec6 {
 
 // solveMotion solves the accumulated normal equations, falling back to a
 // ridge-regularized solve (then θ = 0) when degenerate geometry — e.g. a
-// perfectly flat featureless patch — leaves the system singular.
+// perfectly flat featureless patch — leaves the system singular. The
+// Huber refinement uses it directly (its reweighted matrix varies per
+// hypothesis); the search loop uses the factored equivalent motionFactor.
 func solveMotion(a *la.Mat6, b *la.Vec6) la.Vec6 {
 	ac := *a
 	bc := *b
@@ -260,6 +428,50 @@ func solveMotion(a *la.Mat6, b *la.Vec6) la.Vec6 {
 	return la.Vec6{}
 }
 
+// motionFactor is the factored form of solveMotion: factorMotion
+// eliminates the normal-equation matrix (and, mirroring solveMotion's
+// fallback, its ridge-regularized variant when A is singular) once;
+// solveFactored then reproduces solveMotion(A, b) bit-for-bit for any
+// right-hand side. Pivot choices depend only on A, so sharing one
+// factorization across all hypotheses of a pixel changes no arithmetic.
+type motionFactor struct {
+	fac     la.Factored6
+	ridge   la.Factored6
+	ok      bool // fac is valid
+	ridgeOK bool // ridge is valid (only consulted when !ok)
+}
+
+// factorMotion factors A, falling back to the ridge-regularized matrix
+// exactly as solveMotion does. The ridge amount depends only on A's
+// trace, so it too is hypothesis-invariant.
+func (mf *motionFactor) factorMotion(a *la.Mat6) {
+	if mf.fac, mf.ok = la.Factor6(a); mf.ok {
+		return
+	}
+	var tr float64
+	for i := 0; i < 6; i++ {
+		tr += a[i][i]
+	}
+	ridge := tr/6*1e-8 + 1e-9
+	ac := *a
+	for i := 0; i < 6; i++ {
+		ac[i][i] += ridge
+	}
+	mf.ridge, mf.ridgeOK = la.Factor6(&ac)
+}
+
+// solveFactored solves for one right-hand side against the stored
+// factorization(s). b is clobbered.
+func (mf *motionFactor) solveFactored(b *la.Vec6) la.Vec6 {
+	if mf.ok {
+		return la.SolveFactored6(&mf.fac, b)
+	}
+	if mf.ridgeOK {
+		return la.SolveFactored6(&mf.ridge, b)
+	}
+	return la.Vec6{}
+}
+
 // trackPixel runs the full hypothesis search for one pixel. The zero
 // hypothesis is evaluated first and ties break in its favor, then scan
 // order — the same deterministic rule on every driver.
@@ -278,19 +490,27 @@ func (t *tracker) trackPixel(x, y int) (hx, hy int, eps float64, theta la.Vec6) 
 // trackPixelFrom searches the hypothesis window centered at offset
 // (bx, by) instead of zero — the prior-guided search the hierarchical
 // (coarse-to-fine) extension uses at finer pyramid levels.
+//
+// The hypothesis-invariant work (template geometry, matrix accumulation
+// and factorization) runs once here; each hypothesis then costs one
+// b-pass, one substitution and one (early-exiting) residual sum.
 func (t *tracker) trackPixelFrom(x, y, bx, by int) (hx, hy int, eps float64, theta la.Vec6) {
+	if useReferenceKernel {
+		return t.trackPixelFromReference(x, y, bx, by)
+	}
 	p := t.prep.P
 	srx := p.SearchRX()
 	sry := p.SearchRY()
+	t.preparePixel(x, y)
 	hx, hy = bx, by
-	eps, theta = t.score(x, y, bx, by)
+	eps, theta, _ = t.scoreHyp(x, y, bx, by, math.Inf(1))
 	for dy := -sry; dy <= sry; dy++ {
 		for dx := -srx; dx <= srx; dx++ {
 			if dx == 0 && dy == 0 {
 				continue
 			}
-			e, th := t.score(x, y, bx+dx, by+dy)
-			if e < eps {
+			e, th, pruned := t.scoreHyp(x, y, bx+dx, by+dy, eps)
+			if !pruned && e < eps {
 				eps = e
 				hx, hy = bx+dx, by+dy
 				theta = th

@@ -22,7 +22,8 @@ type ServeThroughput struct {
 	Concurrency  int     `json:"concurrency"`
 	Workers      int     `json:"workers"`
 	Errors       int     `json:"errors"`
-	Rejected     int     `json:"rejected"`
+	Retries      int     `json:"retries"`  // backpressure responses retried after Retry-After
+	Rejected     int     `json:"rejected"` // requests given up on while still pushed back
 	Mismatches   int     `json:"mismatches"`
 	ElapsedSec   float64 `json:"elapsed_sec"`
 	ReqPerSec    float64 `json:"requests_per_sec"`
@@ -65,6 +66,7 @@ func ServeThroughputExperiment(size, requests, concurrency, workers int, seed in
 	out.Requests = res.Requests
 	out.Workers = workers
 	out.Errors = res.Errors
+	out.Retries = res.Retries
 	out.Rejected = res.Rejected
 	out.Mismatches = res.Mismatches
 	out.ElapsedSec = res.ElapsedSec

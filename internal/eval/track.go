@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"sma/internal/core"
+	"sma/internal/synth"
+)
+
+// TrackThroughput is one tracking-kernel trajectory point: the same
+// prepared hurricane pair tracked with the retained naive kernel (rebuild
+// and re-eliminate the 6×6 normal equations for every hypothesis, sum
+// every residual to the end) and with the hoisted kernel of track.go
+// (factor A once per pixel, cache the template invariants, early-exit the
+// ε sum against the incumbent best). The two are bit-identical — the
+// point errors otherwise — so the speedup is pure kernel restructuring.
+type TrackThroughput struct {
+	Name           string  `json:"name"`
+	Size           int     `json:"size"`
+	Workers        int     `json:"workers"`
+	Hypotheses     int     `json:"hypotheses_per_pixel"`
+	TemplatePixels int     `json:"template_pixels"`
+	PixelsTracked  int64   `json:"pixels_tracked"`
+	ReferenceSec   float64 `json:"reference_sec"`
+	OptimizedSec   float64 `json:"optimized_sec"`
+	ParallelSec    float64 `json:"parallel_sec"`
+	// PixelsPerSec rates the serial optimized kernel; the reference and
+	// parallel figures bracket it from below and above.
+	PixelsPerSec         float64 `json:"pixels_per_sec"`
+	PixelsPerSecRef      float64 `json:"pixels_per_sec_reference"`
+	PixelsPerSecParallel float64 `json:"pixels_per_sec_parallel"`
+	NsPerHypothesis      float64 `json:"ns_per_hypothesis"`
+	NsPerHypothesisRef   float64 `json:"ns_per_hypothesis_reference"`
+	SpeedupVsReference   float64 `json:"speedup_vs_reference"`
+	SpeedupParallel      float64 `json:"speedup_parallel_vs_reference"`
+	BitIdentical         bool    `json:"bit_identical"`
+}
+
+// TrackThroughputExperiment measures the hoisted tracking kernel against
+// the naive reference on a size×size semi-fluid hurricane pair at
+// ScaledParams. The returned point doubles as a conformance check: it
+// errors if the optimized motion fields are not bit-identical to the
+// reference kernel's.
+func TrackThroughputExperiment(size, workers int, seed int64) (TrackThroughput, error) {
+	out := TrackThroughput{Name: "track_throughput", Size: size}
+	if size < 8 {
+		return out, fmt.Errorf("eval: size %d too small for the template+search footprint", size)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out.Workers = workers
+
+	p := core.ScaledParams()
+	out.Hypotheses = p.Hypotheses()
+	out.TemplatePixels = (2*p.TemplateRX() + 1) * (2*p.TemplateRY() + 1)
+
+	scene := synth.Hurricane(size, size, seed)
+	prep, err := core.Prepare(core.Monocular(scene.Frame(0), scene.Frame(1)), p)
+	if err != nil {
+		return out, err
+	}
+	sm := core.BuildSemiMap(prep)
+	pixels := int64(size) * int64(size)
+	out.PixelsTracked = pixels
+	hyps := float64(pixels) * float64(out.Hypotheses)
+
+	t0 := time.Now()
+	ref := core.TrackPreparedReference(prep, sm, core.Options{})
+	out.ReferenceSec = time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	opt := core.TrackPrepared(prep, sm, core.Options{})
+	out.OptimizedSec = time.Since(t1).Seconds()
+
+	t2 := time.Now()
+	par := core.TrackPreparedParallel(prep, sm, core.Options{}, workers)
+	out.ParallelSec = time.Since(t2).Seconds()
+
+	if out.OptimizedSec > 0 {
+		out.PixelsPerSec = float64(pixels) / out.OptimizedSec
+		out.NsPerHypothesis = out.OptimizedSec * 1e9 / hyps
+	}
+	if out.ReferenceSec > 0 {
+		out.PixelsPerSecRef = float64(pixels) / out.ReferenceSec
+		out.NsPerHypothesisRef = out.ReferenceSec * 1e9 / hyps
+	}
+	if out.ParallelSec > 0 {
+		out.PixelsPerSecParallel = float64(pixels) / out.ParallelSec
+	}
+	if out.OptimizedSec > 0 {
+		out.SpeedupVsReference = out.ReferenceSec / out.OptimizedSec
+	}
+	if out.ParallelSec > 0 {
+		out.SpeedupParallel = out.ReferenceSec / out.ParallelSec
+	}
+
+	out.BitIdentical = opt.Flow.Equal(ref.Flow) && opt.Err.Equal(ref.Err) &&
+		par.Flow.Equal(ref.Flow) && par.Err.Equal(ref.Err)
+	if !out.BitIdentical {
+		return out, fmt.Errorf("eval: optimized kernel is not bit-identical to the reference kernel")
+	}
+	return out, nil
+}
+
+// WriteJSON writes the trajectory point as indented JSON, the
+// BENCH_track.json format CI archives.
+func (r TrackThroughput) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -11,6 +11,9 @@
 //
 // Because the 6×6 case is the hot path, Solve6 is provided as an
 // allocation-free fixed-size kernel alongside the general Matrix routines.
+// The motion solve additionally factors: its matrix is identical for every
+// hypothesis at a tracked pixel, so Factor6 runs the elimination once and
+// SolveFactored6 replays it per right-hand side, bit-identically to Solve6.
 package la
 
 import (
@@ -217,6 +220,92 @@ func Solve6(a *Mat6, b *Vec6) (x Vec6, ok bool) {
 		x[i] = s / a[i][i]
 	}
 	return x, true
+}
+
+// Factored6 is the partial-pivot LU factorization of a Mat6, produced by
+// Factor6. LU holds U in its upper triangle (diagonal included) and the
+// elimination multipliers in its strict lower triangle; Piv[col] records
+// the row swapped into position col before that column was eliminated.
+//
+// The factorization exists so the SMA hypothesis search can eliminate the
+// normal-equation matrix once per tracked pixel and re-solve it for every
+// hypothesis right-hand side: the pivot choices and multipliers depend
+// only on A, so SolveFactored6 replays exactly the row swaps and
+// b[r] -= f·b[col] updates that Solve6 would perform — the solution is
+// bit-identical to Solve6 on the same (A, b).
+type Factored6 struct {
+	LU  Mat6
+	Piv [6]int8
+}
+
+// Factor6 eliminates A with partial pivoting and returns its factorization.
+// A is left unmodified. ok is false exactly when Solve6 would report the
+// system singular (pivot magnitude below the same 1e-12 threshold).
+func Factor6(a *Mat6) (f Factored6, ok bool) {
+	lu := *a
+	for col := 0; col < 6; col++ {
+		p := col
+		best := math.Abs(lu[col][col])
+		for r := col + 1; r < 6; r++ {
+			if v := math.Abs(lu[r][col]); v > best {
+				best, p = v, r
+			}
+		}
+		if best < 1e-12 {
+			return f, false
+		}
+		f.Piv[col] = int8(p)
+		if p != col {
+			lu[col], lu[p] = lu[p], lu[col]
+		}
+		pivot := lu[col][col]
+		for r := col + 1; r < 6; r++ {
+			m := lu[r][col] / pivot
+			lu[r][col] = m // stored multiplier (Solve6 writes 0 here)
+			if m == 0 {
+				continue
+			}
+			for j := col + 1; j < 6; j++ {
+				lu[r][j] -= m * lu[col][j]
+			}
+		}
+	}
+	f.LU = lu
+	return f, true
+}
+
+// SolveFactored6 solves A·x = b using a factorization from Factor6. b is
+// clobbered, like Solve6's. The result is bit-identical to Solve6(A, b):
+// row swaps carry earlier multipliers along with their rows, so LU's
+// strict lower triangle holds, per final row position, exactly the
+// multipliers elimination applied to the row that ended there. Applying
+// the recorded swaps first (exact) and then substituting column by column
+// performs the same subtractions on the same values as Solve6's
+// interleaved elimination — within a column the updates only read the
+// fixed pivot entry, so their order cannot change any bit.
+func SolveFactored6(f *Factored6, b *Vec6) (x Vec6) {
+	for col := 0; col < 6; col++ {
+		if p := int(f.Piv[col]); p != col {
+			b[col], b[p] = b[p], b[col]
+		}
+	}
+	for col := 0; col < 6; col++ {
+		for r := col + 1; r < 6; r++ {
+			m := f.LU[r][col]
+			if m == 0 {
+				continue
+			}
+			b[r] -= m * b[col]
+		}
+	}
+	for i := 5; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < 6; j++ {
+			s -= f.LU[i][j] * x[j]
+		}
+		x[i] = s / f.LU[i][i]
+	}
+	return x
 }
 
 // AccumulateNormal adds the rank-1 least-squares contribution of one

@@ -475,3 +475,182 @@ func BenchmarkSolvers(b *testing.B) {
 		}
 	})
 }
+
+// Property: Factor6 + SolveFactored6 is bit-identical to Solve6 — not
+// merely close: the factored path replays the exact elimination arithmetic
+// of Solve6, so the tracker can hoist the factorization out of the
+// hypothesis loop without perturbing a single ULP of the motion estimate.
+func TestPropertyFactoredSolveBitIdentical(t *testing.T) {
+	check := func(t *testing.T, a *Mat6, v *Vec6) {
+		t.Helper()
+		aa, bb := *a, *v
+		want, wantOK := Solve6(&aa, &bb)
+		fa := *a
+		f, ok := Factor6(&fa)
+		if ok != wantOK {
+			t.Fatalf("Factor6 ok = %v, Solve6 ok = %v", ok, wantOK)
+		}
+		if !ok {
+			return
+		}
+		fb := *v
+		got := SolveFactored6(&f, &fb)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("x[%d]: factored %v (bits %x) != direct %v (bits %x)",
+					i, got[i], math.Float64bits(got[i]),
+					want[i], math.Float64bits(want[i]))
+			}
+		}
+	}
+
+	t.Run("random", func(t *testing.T) {
+		for seed := int64(0); seed < 200; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			var a Mat6
+			var v Vec6
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 6; j++ {
+					a[i][j] = rng.NormFloat64()
+				}
+				v[i] = rng.NormFloat64() * 10
+			}
+			check(t, &a, &v)
+		}
+	})
+	t.Run("pivoting-required", func(t *testing.T) {
+		// Tiny leading diagonal entries force row swaps at every column.
+		for seed := int64(0); seed < 100; seed++ {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			var a Mat6
+			var v Vec6
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 6; j++ {
+					a[i][j] = rng.NormFloat64()
+				}
+				a[i][i] *= 1e-14
+				v[i] = rng.NormFloat64()
+			}
+			check(t, &a, &v)
+		}
+	})
+	t.Run("near-singular", func(t *testing.T) {
+		// Nearly dependent rows: both paths must agree on acceptance and,
+		// when accepted, on the bits of the (wild) solution.
+		for seed := int64(0); seed < 100; seed++ {
+			rng := rand.New(rand.NewSource(2000 + seed))
+			var a Mat6
+			var v Vec6
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 6; j++ {
+					a[i][j] = rng.NormFloat64()
+				}
+				v[i] = rng.NormFloat64()
+			}
+			for j := 0; j < 6; j++ { // row 5 ≈ row 0 + row 1
+				a[5][j] = a[0][j] + a[1][j] + rng.NormFloat64()*1e-13
+			}
+			check(t, &a, &v)
+		}
+	})
+	t.Run("singular", func(t *testing.T) {
+		var a Mat6 // rank 1
+		for j := 0; j < 6; j++ {
+			a[0][j] = float64(j + 1)
+			a[3][j] = 2 * float64(j+1)
+		}
+		var v Vec6
+		check(t, &a, &v)
+	})
+	t.Run("normal-equations", func(t *testing.T) {
+		// The shape the tracker actually produces: AᵀWA accumulations.
+		for seed := int64(0); seed < 100; seed++ {
+			rng := rand.New(rand.NewSource(3000 + seed))
+			var a Mat6
+			var v Vec6
+			for k := 0; k < 12; k++ {
+				var row Vec6
+				for j := range row {
+					row[j] = rng.NormFloat64()
+				}
+				AccumulateNormal(&a, &v, &row, rng.NormFloat64(), 1+rng.Float64())
+			}
+			for i := 1; i < 6; i++ {
+				for j := 0; j < i; j++ {
+					a[i][j] = a[j][i]
+				}
+			}
+			check(t, &a, &v)
+		}
+	})
+}
+
+// Reusing a factorization across many right-hand sides must leave the
+// factorization itself untouched.
+func TestSolveFactored6ReusableAcrossRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a Mat6
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			a[i][j] = rng.NormFloat64()
+		}
+		a[i][i] += 4
+	}
+	f, ok := Factor6(&a)
+	if !ok {
+		t.Fatal("Factor6 failed")
+	}
+	saved := f
+	for trial := 0; trial < 50; trial++ {
+		var v Vec6
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		aa, bb := a, v
+		want, _ := Solve6(&aa, &bb)
+		fb := v
+		got := SolveFactored6(&f, &fb)
+		if got != want {
+			t.Fatalf("trial %d: factored %v != direct %v", trial, got, want)
+		}
+		if f != saved {
+			t.Fatalf("trial %d: SolveFactored6 mutated the factorization", trial)
+		}
+	}
+}
+
+func BenchmarkFactoredSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	var a Mat6
+	var v Vec6
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			a[i][j] = rng.NormFloat64()
+		}
+		a[i][i] += 8
+		v[i] = rng.NormFloat64()
+	}
+	b.Run("factor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			aa := a
+			if _, ok := Factor6(&aa); !ok {
+				b.Fatal("singular")
+			}
+		}
+	})
+	f, _ := Factor6(&a)
+	b.Run("solve-factored", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bb := v
+			_ = SolveFactored6(&f, &bb)
+		}
+	})
+	b.Run("solve-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			aa, bb := a, v
+			if _, ok := Solve6(&aa, &bb); !ok {
+				b.Fatal("singular")
+			}
+		}
+	})
+}

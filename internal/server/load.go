@@ -68,10 +68,17 @@ func (o LoadOptions) withDefaults() LoadOptions {
 // LoadResult summarizes one load run: error counts and the latency
 // distribution cmd/smaload prints and BENCH_serve.json records.
 type LoadResult struct {
-	Requests    int           `json:"requests"`
-	Concurrency int           `json:"concurrency"`
-	Errors      int           `json:"errors"`
-	Rejected    int           `json:"rejected"` // 429/503 backpressure responses
+	Requests    int `json:"requests"`
+	Concurrency int `json:"concurrency"`
+	Errors      int `json:"errors"`
+	// Retries counts 429/503 backpressure responses that were retried
+	// after Retry-After and eventually produced a terminal outcome;
+	// Rejected counts requests given up on while still being pushed back
+	// (context expired mid-retry). Earlier versions folded both into
+	// "rejected", which under-reported throughput: a retried request that
+	// ultimately succeeded was also counted as a rejection.
+	Retries     int           `json:"retries"`
+	Rejected    int           `json:"rejected"`
 	Mismatches  int           `json:"mismatches"`
 	Elapsed     time.Duration `json:"-"`
 	ElapsedSec  float64       `json:"elapsed_sec"`
@@ -186,6 +193,7 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 		mu        sync.Mutex
 		latencies []time.Duration
 		errs      []string
+		retries   int
 		rejected  int
 		mismatch  int
 	)
@@ -204,6 +212,11 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 			}
 		}
 	}
+	recordRetry := func() {
+		mu.Lock()
+		retries++
+		mu.Unlock()
+	}
 
 	work := make(chan int)
 	var wg sync.WaitGroup
@@ -215,7 +228,8 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 			for range work {
 				t0 := time.Now()
 				// Backpressure rejections are retried after Retry-After,
-				// like a well-behaved client; each one is still counted.
+				// like a well-behaved client; each retry is counted separately
+				// from the request's terminal outcome.
 				for {
 					req, err := http.NewRequestWithContext(ctx, http.MethodPost, opt.URL+"/v1/track", bytes.NewReader(body))
 					if err != nil {
@@ -230,15 +244,16 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 					}
 					rej, errMsg, mm := consumeTrackResponse(resp, want)
 					if rej {
-						record(0, true, "", false)
 						select {
 						case <-time.After(retryDelay(resp)):
+							recordRetry()
+							continue
 						case <-ctx.Done():
+							// Gave up while still being pushed back: this
+							// request really was rejected.
+							record(0, true, "", false)
 						}
-						if ctx.Err() != nil {
-							break
-						}
-						continue
+						break
 					}
 					record(time.Since(t0), false, errMsg, mm)
 					break
@@ -262,6 +277,7 @@ feed:
 		Requests:    opt.Requests,
 		Concurrency: opt.Concurrency,
 		Errors:      len(errs),
+		Retries:     retries,
 		Rejected:    rejected,
 		Mismatches:  mismatch,
 		Elapsed:     elapsed,

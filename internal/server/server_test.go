@@ -490,6 +490,40 @@ func TestRunLoadAgainstLiveServer(t *testing.T) {
 	}
 }
 
+func TestRunLoadRetriesBackpressureToCompletion(t *testing.T) {
+	// A one-worker, depth-one queue under 8-way concurrency must push
+	// clients back; the load generator retries after Retry-After, so every
+	// request still completes. The retries are reported separately — they
+	// must not count as rejections, which are reserved for give-ups.
+	_, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := RunLoad(ctx, LoadOptions{
+		URL:         ts.URL,
+		Requests:    10,
+		Concurrency: 8,
+		Size:        24,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load run had %d errors: %v", res.Errors, res.ErrorSample)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("%d requests counted rejected despite an ample deadline", res.Rejected)
+	}
+	if res.Retries == 0 {
+		t.Fatal("saturated queue produced no backpressure retries")
+	}
+	// Every request reached a terminal success, so throughput accounts
+	// for all of them.
+	if want := float64(res.Requests) / res.ElapsedSec; res.Throughput < 0.99*want {
+		t.Fatalf("throughput %.2f under-reports %d completed requests over %.2fs",
+			res.Throughput, res.Requests, res.ElapsedSec)
+	}
+}
+
 func TestTTLStoreEvicts(t *testing.T) {
 	evicted := make(chan int, 1)
 	st := newTTLStore(10*time.Millisecond, func(n int) { evicted <- n })

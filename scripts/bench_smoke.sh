@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench-smoke: the tracking-kernel performance gate (docs/PERFORMANCE.md).
+# Runs the kernel microbenchmarks in short form, then the
+# eval.TrackThroughputExperiment via smabench, and fails if the hoisted
+# kernel is not bit-identical to the retained naive kernel or its serial
+# speedup falls below the 2x floor the trajectory promises.
+set -eu
+
+SIZE="${BENCH_SMOKE_SIZE:-48}"
+OUT="${BENCH_SMOKE_OUT:-/tmp/BENCH_track.json}"
+MIN_SPEEDUP="${BENCH_SMOKE_MIN_SPEEDUP:-2.0}"
+
+echo "== kernel microbenchmarks (short)"
+go test -run '^$' -bench 'BenchmarkScoreHyp|BenchmarkScoreReference|BenchmarkPreparePixel|BenchmarkTrackPixel' \
+    -benchtime 50ms ./internal/core
+go test -run '^$' -bench 'BenchmarkFactoredSolve' -benchtime 50ms ./internal/la
+
+echo "== track throughput experiment"
+go run ./cmd/smabench -only track -size "$SIZE" -track-out "$OUT"
+
+# Gate on the JSON the experiment just wrote. The experiment itself
+# errors on any bitwise mismatch, so bit_identical doubles as a sanity
+# check that we are reading the file we think we are.
+awk -v min="$MIN_SPEEDUP" '
+    /"speedup_vs_reference"/ { gsub(/[,"]/, ""); speedup = $2 }
+    /"bit_identical"/        { gsub(/[,"]/, ""); bitid = $2 }
+    END {
+        if (bitid != "true") {
+            printf "bench-smoke: bit_identical = %s\n", bitid; exit 1
+        }
+        if (speedup + 0 < min + 0) {
+            printf "bench-smoke: speedup %.2fx below the %.1fx gate\n", speedup, min; exit 1
+        }
+        printf "bench-smoke: OK (speedup %.2fx >= %.1fx, bit-identical)\n", speedup, min
+    }' "$OUT"

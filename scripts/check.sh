@@ -39,6 +39,12 @@ go test -race ./internal/fault || fail=1
 go test -race -run 'Fault|Degraded|Chaos|Skip|Retry|FrameError|Pool|TTL|Expired|Truncat' \
     ./internal/stream ./internal/server ./internal/ingest ./internal/grid || fail=1
 
+# The tracking-kernel performance gate (docs/PERFORMANCE.md): short
+# microbenchmarks plus the reference-vs-optimized throughput experiment,
+# failing on any bitwise divergence or a speedup below 2x.
+echo "== bench smoke"
+sh scripts/bench_smoke.sh || fail=1
+
 echo "== stream throughput smoke"
 go run ./cmd/smabench -only stream -size 32 -frames 4 \
     -bench-out /tmp/BENCH_stream.json || fail=1
