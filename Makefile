@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet smavet race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke
+.PHONY: all build test check vet smavet smavet-baseline race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke
 
 all: build
 
@@ -22,9 +22,15 @@ vet:
 	$(GO) vet ./...
 
 # smavet: the project-specific static analyzers (cmd/smavet). Exits
-# non-zero on any finding; see docs/STATIC_ANALYSIS.md.
+# non-zero on any gating finding; see docs/STATIC_ANALYSIS.md.
 smavet:
 	$(GO) run ./cmd/smavet ./...
+
+# smavet-baseline: refreeze the warn-severity debt into .smavet-baseline
+# (the ratchet file `make smavet` gates against). Error findings are
+# never frozen — the target fails if any exist. Commit the result.
+smavet-baseline:
+	$(GO) run ./cmd/smavet -write-baseline ./...
 
 race:
 	$(GO) test -race ./...

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -247,7 +248,7 @@ func main() {
 		fmt.Printf("  wrote %s\n\n", *benchOut)
 	}
 	if run("serve") {
-		r, err := eval.ServeThroughputExperiment(*size/2, *requests, *clients, *workers, *seed)
+		r, err := eval.ServeThroughputExperiment(context.Background(), *size/2, *requests, *clients, *workers, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}

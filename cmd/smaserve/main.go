@@ -87,6 +87,7 @@ func main() {
 			log.Fatalf("pprof listen %s: %v", *pprofAddr, err)
 		}
 		log.Printf("pprof listening on %s", pln.Addr())
+		//smavet:allow goleak -- debug server is process-lifetime by design; Serve only returns at exit
 		go func() {
 			psrv := &http.Server{ReadHeaderTimeout: 10 * time.Second}
 			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {

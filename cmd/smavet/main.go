@@ -1,16 +1,24 @@
 // Command smavet runs the project-specific static-analysis suite over
 // the SMA pipeline sources. It needs only the Go standard library: the
-// module's packages are parsed and type-checked in-process.
+// module's packages are parsed and type-checked in-process, then
+// analyzed in parallel (one worker per package up to -parallel).
 //
 // Usage:
 //
 //	go run ./cmd/smavet ./...
-//	go run ./cmd/smavet -checks panicfree,hotalloc ./internal/core
+//	go run ./cmd/smavet -checks lockscope,goleak ./internal/server
+//	go run ./cmd/smavet -json ./... > smavet.json
+//	go run ./cmd/smavet -write-baseline ./...
 //
-// Findings print as file:line: [check] message and make the exit status
-// non-zero. Individual sites are suppressed with a
-// //smavet:allow <check> [-- reason] comment on the same or previous
-// line; see docs/STATIC_ANALYSIS.md.
+// Findings print as file:line: [check] message. Error-severity findings
+// always gate; warn-severity findings gate only when absent from the
+// committed .smavet-baseline ratchet file (new debt fails, frozen debt
+// passes, entries that stop matching are reported stale). Individual
+// sites are suppressed with //smavet:allow <check> [-- reason] on the
+// same or previous line; the concurrency & determinism checks require
+// the reason. See docs/STATIC_ANALYSIS.md.
+//
+// Exit status: 0 clean, 1 gating findings, 2 load/type/usage error.
 package main
 
 import (
@@ -18,8 +26,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"sma/internal/analysis"
 )
@@ -28,6 +38,12 @@ func main() {
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	kernels := flag.String("kernels", "", "extra comma-separated kernel function names for hotalloc")
 	sinks := flag.String("sinks", "", "extra comma-separated approved narrowing sinks for floatnarrow")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON report on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
+	baselinePath := flag.String("baseline", "", "baseline file (default <module root>/.smavet-baseline)")
+	writeBaseline := flag.Bool("write-baseline", false, "freeze current warn findings into the baseline file and exit")
+	noBaseline := flag.Bool("no-baseline", false, "ignore the baseline: every finding gates")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max packages analyzed concurrently")
 	list := flag.Bool("list", false, "list available checks and exit")
 	flag.Parse()
 
@@ -40,6 +56,9 @@ func main() {
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: smavet [flags] ./... | dir ...")
 		os.Exit(2)
+	}
+	if *jsonOut && *sarifOut {
+		fatalf("-json and -sarif are mutually exclusive")
 	}
 
 	analyzers := analysis.All()
@@ -78,25 +97,102 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	found := 0
-	for _, dir := range dirs {
+
+	// Load serially — the loader caches package type-checks and is not
+	// concurrent-safe — then analyze in parallel: each package's pass is
+	// independent and findings are merged in sorted-dir order, so the
+	// output is identical at any -parallel value.
+	pkgs := make([]*analysis.Package, len(dirs))
+	for i, dir := range dirs {
 		pkg, err := loader.LoadDir(dir)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		for _, f := range analysis.Run(cfg, pkg, analyzers) {
-			rel, err := filepath.Rel(root, f.Pos.Filename)
-			if err != nil || strings.HasPrefix(rel, "..") {
-				rel = f.Pos.Filename
+		pkgs[i] = pkg
+	}
+	perPkg := make([][]analysis.Finding, len(pkgs))
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *analysis.Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			perPkg[i] = analysis.Run(cfg, pkg, analyzers)
+		}(i, pkg)
+	}
+	wg.Wait()
+	var all []analysis.Finding
+	for _, fs := range perPkg {
+		all = append(all, fs...)
+	}
+
+	bpath := *baselinePath
+	if bpath == "" {
+		bpath = filepath.Join(root, ".smavet-baseline")
+	}
+	if *writeBaseline {
+		errs := 0
+		for _, f := range all {
+			if f.Severity == analysis.SevError {
+				errs++
 			}
-			fmt.Printf("%s:%d: [%s] %s\n", rel, f.Pos.Line, f.Check, f.Message)
-			found++
+		}
+		if err := analysis.WriteBaseline(bpath, root, all); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "smavet: baseline written to %s (%d warn finding(s) frozen; %d error(s) NOT frozen — fix those)\n",
+			bpath, len(all)-errs, errs)
+		if errs > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	base := &analysis.Baseline{}
+	if !*noBaseline {
+		base, err = analysis.ReadBaseline(bpath)
+		if err != nil {
+			fatalf("%v", err)
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "smavet: %d finding(s)\n", found)
+	gating, baselined, stale := base.Filter(root, all)
+
+	switch {
+	case *jsonOut:
+		if err := analysis.WriteJSON(os.Stdout, root, gating, baselined, stale); err != nil {
+			fatalf("%v", err)
+		}
+	case *sarifOut:
+		if err := analysis.WriteSARIF(os.Stdout, root, analyzers, gating, baselined); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		for _, f := range gating {
+			fmt.Printf("%s:%d: [%s:%s] %s\n", relTo(root, f.Pos.Filename), f.Pos.Line, f.Check, f.Severity, f.Message)
+		}
+	}
+	analysis.WriteStale(os.Stderr, stale)
+	if n := len(baselined); n > 0 {
+		fmt.Fprintf(os.Stderr, "smavet: %d baselined warn finding(s) suppressed by %s\n", n, relTo(root, bpath))
+	}
+	if len(gating) > 0 {
+		fmt.Fprintf(os.Stderr, "smavet: %d finding(s)\n", len(gating))
 		os.Exit(1)
 	}
+}
+
+func relTo(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
 }
 
 func addNames(dst map[string]bool, csv string) {
@@ -119,7 +215,7 @@ func moduleRoot() (string, error) {
 		}
 		parent := filepath.Dir(dir)
 		if parent == dir {
-			return "", fmt.Errorf("smavet: no go.mod above the working directory")
+			return "", fmt.Errorf("no go.mod above the working directory")
 		}
 		dir = parent
 	}
@@ -157,7 +253,7 @@ func expandPatterns(root string, args []string) ([]string, error) {
 			if hasGoFiles(abs) {
 				add(abs)
 			} else {
-				return nil, fmt.Errorf("smavet: no Go files in %s", base)
+				return nil, fmt.Errorf("no Go files in %s", base)
 			}
 			continue
 		}

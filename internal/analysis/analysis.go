@@ -10,10 +10,24 @@
 // allocate (hotalloc), and errors must not be silently discarded or
 // wrapped unwrappably (errdiscard).
 //
+// The concurrency & determinism suite extends that floor to the paper's
+// schedule-independence contract: locks must not be copied, leaked past a
+// return, or held across blocking operations (lockscope); a received
+// context.Context must be threaded, not re-minted or stored (ctxflow);
+// a field touched by sync/atomic anywhere must be atomic everywhere
+// (atomicmix); results must not depend on map iteration order, unseeded
+// randomness or wall-clock reads in kernel packages (detrange); and every
+// goroutine needs a join — WaitGroup pairing or a drained channel
+// (goleak).
+//
 // A finding may be suppressed at the site with a directive comment on the
 // same line or the line directly above:
 //
 //	//smavet:allow <check>[,<check>...] [-- reason]
+//
+// Checks listed in Config.ReasonRequired reject directives without a
+// "-- reason": the suppression is re-reported as an error until the why
+// is written down.
 package analysis
 
 import (
@@ -24,11 +38,20 @@ import (
 	"strings"
 )
 
+// Finding severities. Errors always gate; warnings gate only when they
+// are not recorded in the committed baseline (the ratchet: existing debt
+// is frozen, new debt fails).
+const (
+	SevError = "error"
+	SevWarn  = "warn"
+)
+
 // Finding is one analyzer diagnostic.
 type Finding struct {
-	Pos     token.Position
-	Check   string
-	Message string
+	Pos      token.Position
+	Check    string
+	Severity string
+	Message  string
 }
 
 // String renders the finding in the file:line: [check] message form the
@@ -52,12 +75,23 @@ type Pass struct {
 	findings []Finding
 }
 
-// Reportf records a finding at pos.
+// Reportf records an error-severity finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportSev(SevError, pos, format, args...)
+}
+
+// Warnf records a warn-severity finding at pos: real debt, but eligible
+// for the baseline ratchet instead of failing the build outright.
+func (p *Pass) Warnf(pos token.Pos, format string, args ...any) {
+	p.reportSev(SevWarn, pos, format, args...)
+}
+
+func (p *Pass) reportSev(sev string, pos token.Pos, format string, args ...any) {
 	p.findings = append(p.findings, Finding{
-		Pos:     p.Pkg.Fset.Position(pos),
-		Check:   p.check,
-		Message: fmt.Sprintf(format, args...),
+		Pos:      p.Pkg.Fset.Position(pos),
+		Check:    p.check,
+		Severity: sev,
+		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
@@ -69,24 +103,18 @@ func All() []*Analyzer {
 		PanicFree,
 		HotAlloc,
 		ErrDiscard,
+		LockScope,
+		CtxFlow,
+		AtomicMix,
+		DetRange,
+		GoLeak,
 	}
 }
 
-// Run applies the analyzers to one loaded package and returns the
-// findings that survive //smavet:allow suppression, sorted by position.
-func Run(cfg *Config, pkg *Package, analyzers []*Analyzer) []Finding {
-	allow := collectAllows(pkg)
-	var out []Finding
-	for _, a := range analyzers {
-		pass := &Pass{Cfg: cfg, Pkg: pkg, check: a.Name}
-		a.Run(pass)
-		for _, f := range pass.findings {
-			if allow.ok(f.Pos.Filename, f.Pos.Line, f.Check) {
-				continue
-			}
-			out = append(out, f)
-		}
-	}
+// sortFindings orders findings deterministically: file, line, column,
+// check, message. The same order falls out of any analysis schedule,
+// which is what lets the driver run packages in parallel.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -95,22 +123,79 @@ func Run(cfg *Config, pkg *Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Check < b.Check
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
+}
+
+// Run applies the analyzers to one loaded package and returns the
+// findings that survive //smavet:allow suppression, sorted by position.
+// A reason-less allow directive does not suppress checks in
+// Config.ReasonRequired; the finding comes back as an error telling the
+// author to write the reason down.
+func Run(cfg *Config, pkg *Package, analyzers []*Analyzer) []Finding {
+	allow := collectAllows(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{Cfg: cfg, Pkg: pkg, check: a.Name}
+		a.Run(pass)
+		for _, f := range pass.findings {
+			switch allow.status(f.Pos.Filename, f.Pos.Line, f.Check) {
+			case allowReasoned:
+				continue
+			case allowBare:
+				if !cfg.ReasonRequired[f.Check] {
+					continue
+				}
+				f.Severity = SevError
+				f.Message += fmt.Sprintf(" (reason-less suppression: write //smavet:allow %s -- <why>)", f.Check)
+			}
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
 	return out
 }
 
-// allowSet records //smavet:allow directives: file → line → check names.
+// Allow-directive match states, strongest first.
+const (
+	allowNone = iota
+	allowBare
+	allowReasoned
+)
+
+// allowSet records //smavet:allow directives: file → line → check name →
+// whether the directive carried a "-- reason".
 type allowSet map[string]map[int]map[string]bool
 
-// ok reports whether a finding of check at file:line is suppressed by a
-// directive on the same line or the line directly above.
-func (s allowSet) ok(file string, line int, check string) bool {
+// status reports how a finding of check at file:line is suppressed by a
+// directive on the same line or the line directly above. When both lines
+// carry a directive for the check, a reasoned one wins.
+func (s allowSet) status(file string, line int, check string) int {
 	lines := s[file]
 	if lines == nil {
-		return false
+		return allowNone
 	}
-	return lines[line][check] || lines[line-1][check]
+	st := allowNone
+	for _, l := range []int{line, line - 1} {
+		if reasoned, ok := lines[l][check]; ok {
+			if reasoned {
+				return allowReasoned
+			}
+			st = allowBare
+		}
+	}
+	return st
+}
+
+// ok reports whether the finding is suppressed at all (reasoned or not).
+func (s allowSet) ok(file string, line int, check string) bool {
+	return s.status(file, line, check) != allowNone
 }
 
 func collectAllows(pkg *Package) allowSet {
@@ -123,8 +208,10 @@ func collectAllows(pkg *Package) allowSet {
 					continue
 				}
 				text = strings.TrimPrefix(text, "smavet:allow")
-				if reason := strings.Index(text, "--"); reason >= 0 {
-					text = text[:reason]
+				reasoned := false
+				if cut := strings.Index(text, "--"); cut >= 0 {
+					reasoned = strings.TrimSpace(text[cut+2:]) != ""
+					text = text[:cut]
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				lines := s[pos.Filename]
@@ -139,7 +226,9 @@ func collectAllows(pkg *Package) allowSet {
 				}
 				for _, name := range strings.Split(text, ",") {
 					if name = strings.TrimSpace(name); name != "" {
-						checks[name] = true
+						// A reasoned directive is never downgraded by a
+						// bare duplicate.
+						checks[name] = checks[name] || reasoned
 					}
 				}
 			}

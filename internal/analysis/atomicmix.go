@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix enforces all-or-nothing atomicity: a variable or struct field
+// accessed through sync/atomic anywhere in the package must be accessed
+// atomically everywhere. One plain load next to an atomic.AddInt64 is a
+// data race the memory model gives no guarantees about — it can read torn
+// values on 32-bit hosts and stale values on any host — and it reproduces
+// only under load, which is exactly where the Stats counters and the
+// Prometheus registry live.
+//
+// The analyzer resolves the address argument of every sync/atomic call
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&flag), ...) to its
+// types.Object and then flags every other read or write of the same
+// object that is not itself inside a sync/atomic argument. The typed
+// wrappers (atomic.Int64, atomic.Bool, ...) need no analysis — the type
+// system already makes plain access impossible; preferring them is the
+// approved fix.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass 1: objects whose address goes into a sync/atomic call, plus
+	// the source ranges of those calls' arguments (the atomic accesses
+	// themselves must not self-flag in pass 2).
+	type span struct{ lo, hi token.Pos }
+	atomicObjs := map[types.Object]bool{}
+	var atomicArgSpans []span
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				atomicArgSpans = append(atomicArgSpans, span{arg.Pos(), arg.End()})
+				if obj := addressedObject(info, arg); obj != nil {
+					atomicObjs[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	insideAtomic := func(pos token.Pos) bool {
+		for _, s := range atomicArgSpans {
+			if pos >= s.lo && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: plain accesses of those objects anywhere else.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !atomicObjs[obj] || insideAtomic(id.Pos()) {
+				return true
+			}
+			p.Reportf(id.Pos(), "%s is accessed with sync/atomic elsewhere; this plain access races — use the atomic API (or an atomic.%s field) here too",
+				id.Name, suggestedAtomicType(obj))
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call is a function of package sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &expr to the object of expr's base selector or
+// identifier.
+func addressedObject(info *types.Info, arg ast.Expr) types.Object {
+	u, ok := arg.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	switch x := u.X.(type) {
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	case *ast.Ident:
+		return info.Uses[x]
+	}
+	return nil
+}
+
+// suggestedAtomicType names the typed sync/atomic wrapper for obj's type.
+func suggestedAtomicType(obj types.Object) string {
+	if basic, ok := obj.Type().Underlying().(*types.Basic); ok {
+		switch basic.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64, types.Int:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64, types.Uint, types.Uintptr:
+			return "Uint64"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	return "Value"
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the warn-severity ratchet. The committed .smavet-baseline
+// file freezes the warn findings that existed when a check landed; a warn
+// finding present in the baseline does not gate, a new one does, and a
+// baseline entry with no matching finding is reported stale so the file
+// only ever shrinks.
+//
+// Entries are a multiset keyed by (check, file, message) — deliberately
+// without line numbers, so unrelated edits that shift code up or down do
+// not churn the file or un-freeze debt. Error-severity findings never
+// consult the baseline: they always gate.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineKey builds the line-number-free identity of a finding, with the
+// file path made module-relative so the baseline is checkout-independent.
+func baselineKey(root string, f Finding) string {
+	return f.Check + "\t" + relPath(root, f.Pos.Filename) + "\t" + f.Message
+}
+
+// relPath renders path relative to root with forward slashes; outside the
+// root it falls back to the cleaned absolute path.
+func relPath(root, path string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filepath.Clean(path))
+}
+
+// ReadBaseline loads path. A missing file is an empty baseline, not an
+// error — a repo without debt needs no file.
+func ReadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{counts: map[string]int{}}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return b, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("analysis: malformed baseline line %q (want check<TAB>file<TAB>message)", line)
+		}
+		b.counts[line]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// WriteBaseline freezes the warn-severity findings into path, sorted.
+// Error findings are never written: they must be fixed, not frozen.
+func WriteBaseline(path, root string, findings []Finding) error {
+	var lines []string
+	for _, f := range findings {
+		if f.Severity == SevWarn {
+			lines = append(lines, baselineKey(root, f))
+		}
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# smavet warn-severity baseline: frozen debt, keyed check<TAB>file<TAB>message.\n")
+	sb.WriteString("# New warn findings fail the build; entries here only warn when stale.\n")
+	sb.WriteString("# Regenerate with `make smavet-baseline` after paying debt down.\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// Filter splits findings against the baseline: gating findings (all
+// errors, plus warns not in the baseline), baselined warns, and the
+// stale baseline keys that matched nothing this run.
+func (b *Baseline) Filter(root string, findings []Finding) (gating, baselined []Finding, stale []string) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	for _, f := range findings {
+		if f.Severity == SevWarn {
+			key := baselineKey(root, f)
+			if remaining[key] > 0 {
+				remaining[key]--
+				baselined = append(baselined, f)
+				continue
+			}
+		}
+		gating = append(gating, f)
+	}
+	for k, v := range remaining {
+		for i := 0; i < v; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return gating, baselined, stale
+}
+
+// Len reports the number of baseline entries (counting duplicates).
+func (b *Baseline) Len() int {
+	n := 0
+	for _, v := range b.counts {
+		n += v
+	}
+	return n
+}
+
+// WriteStale renders the stale entries human-readably.
+func WriteStale(w io.Writer, stale []string) {
+	for _, s := range stale {
+		fmt.Fprintf(w, "smavet: stale baseline entry (finding no longer produced): %s\n", strings.ReplaceAll(s, "\t", " | "))
+	}
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkFinding(file string, line int, check, sev, msg string) Finding {
+	return Finding{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Check:    check,
+		Severity: sev,
+		Message:  msg,
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from findings and reads it
+// back: only warns are frozen, keys drop line numbers, and the file is
+// sorted.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ".smavet-baseline")
+	root := "/repo"
+	findings := []Finding{
+		mkFinding("/repo/b.go", 9, "goleak", SevWarn, "no join"),
+		mkFinding("/repo/a.go", 3, "ctxflow", SevWarn, "minted root"),
+		mkFinding("/repo/a.go", 5, "lockscope", SevError, "held across send"),
+	}
+	if err := WriteBaseline(path, root, findings); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "lockscope") {
+		t.Fatal("error-severity finding frozen into the baseline")
+	}
+	if strings.Contains(string(data), ":3") || strings.Contains(string(data), ":9") {
+		t.Fatal("baseline keys must not contain line numbers")
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("baseline has %d entries, want 2", b.Len())
+	}
+}
+
+// TestBaselineFilter pins the ratchet semantics: errors always gate,
+// baselined warns are consumed as a multiset, new warns gate, leftovers
+// are stale.
+func TestBaselineFilter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, ".smavet-baseline")
+	root := "/repo"
+	frozen := []Finding{
+		mkFinding("/repo/a.go", 3, "ctxflow", SevWarn, "minted root"),
+		mkFinding("/repo/a.go", 8, "ctxflow", SevWarn, "minted root"), // duplicate message: multiset
+		mkFinding("/repo/b.go", 1, "goleak", SevWarn, "gone soon"),
+	}
+	if err := WriteBaseline(path, root, frozen); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := []Finding{
+		// Lines moved — still baselined (keys have no line numbers).
+		mkFinding("/repo/a.go", 13, "ctxflow", SevWarn, "minted root"),
+		mkFinding("/repo/a.go", 18, "ctxflow", SevWarn, "minted root"),
+		// Third identical warn exceeds the frozen count of 2: gates.
+		mkFinding("/repo/a.go", 30, "ctxflow", SevWarn, "minted root"),
+		// New warn not in the baseline: gates.
+		mkFinding("/repo/c.go", 2, "detrange", SevWarn, "rand"),
+		// Errors gate regardless of the baseline.
+		mkFinding("/repo/a.go", 40, "lockscope", SevError, "held"),
+	}
+	gating, baselined, stale := b.Filter(root, now)
+	if len(gating) != 3 {
+		t.Fatalf("gating = %d findings %v, want 3", len(gating), gating)
+	}
+	if len(baselined) != 2 {
+		t.Fatalf("baselined = %d findings, want 2", len(baselined))
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "gone soon") {
+		t.Fatalf("stale = %v, want the one b.go entry", stale)
+	}
+}
+
+// TestBaselineMissingAndMalformed: a missing file is an empty baseline;
+// a malformed line is a load error, not silently ignored.
+func TestBaselineMissingAndMalformed(t *testing.T) {
+	b, err := ReadBaseline(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatalf("missing baseline must read as empty, got %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("missing baseline has %d entries", b.Len())
+	}
+	bad := filepath.Join(t.TempDir(), ".smavet-baseline")
+	if err := os.WriteFile(bad, []byte("# comment ok\nonly-one-field\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(bad); err == nil {
+		t.Fatal("malformed baseline line accepted")
+	}
+}
+
+// TestDetRangeKernelPackages checks the det-package upgrade path: with
+// the fixture's path added to DetPkgSuffixes, shared-source randomness
+// becomes an error and time.Now is a finding at all.
+func TestDetRangeKernelPackages(t *testing.T) {
+	pkg := fixture(t, "detrangekernel")
+	cfg := DefaultConfig()
+
+	// Outside the det set: rand warns, time.Now is silent.
+	var warns, errors int
+	for _, f := range Run(cfg, pkg, []*Analyzer{DetRange}) {
+		switch f.Severity {
+		case SevWarn:
+			warns++
+		case SevError:
+			errors++
+		}
+	}
+	if warns != 1 || errors != 0 {
+		t.Fatalf("non-det pass: %d warns %d errors, want 1/0", warns, errors)
+	}
+
+	cfg.DetPkgSuffixes = append(cfg.DetPkgSuffixes, "testdata/src/detrangekernel")
+	findings := Run(cfg, pkg, []*Analyzer{DetRange})
+	if len(findings) != 2 {
+		t.Fatalf("det pass: %d findings %v, want 2", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Severity != SevError {
+			t.Errorf("det-package finding has severity %q, want error: %v", f.Severity, f)
+		}
+	}
+}
+
+// TestOutputFormats sanity-checks the -json and -sarif documents: valid
+// JSON, module-relative paths, severity → SARIF level mapping.
+func TestOutputFormats(t *testing.T) {
+	root := "/repo"
+	gating := []Finding{
+		mkFinding("/repo/a.go", 3, "lockscope", SevError, "held"),
+		mkFinding("/repo/b.go", 7, "ctxflow", SevWarn, "minted"),
+	}
+	baselined := []Finding{
+		mkFinding("/repo/c.go", 1, "goleak", SevWarn, "no join"),
+	}
+
+	var jbuf bytes.Buffer
+	if err := WriteJSON(&jbuf, root, gating, baselined, []string{"stale\tkey\there"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(jbuf.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if rep.Version != 1 || len(rep.Findings) != 3 || len(rep.Stale) != 1 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	if rep.Findings[0].File != "a.go" || rep.Findings[0].Baselined {
+		t.Fatalf("first finding should be gating a.go: %+v", rep.Findings[0])
+	}
+	if !rep.Findings[2].Baselined {
+		t.Fatalf("baselined finding not marked: %+v", rep.Findings[2])
+	}
+
+	var sbuf bytes.Buffer
+	if err := WriteSARIF(&sbuf, root, All(), gating, baselined); err != nil {
+		t.Fatal(err)
+	}
+	var sarif struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+				Level  string `json:"level"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(sbuf.Bytes(), &sarif); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v", err)
+	}
+	if sarif.Version != "2.1.0" || len(sarif.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version %q, %d runs", sarif.Version, len(sarif.Runs))
+	}
+	run := sarif.Runs[0]
+	if run.Tool.Driver.Name != "smavet" || len(run.Tool.Driver.Rules) != len(All()) {
+		t.Fatalf("driver %q with %d rules, want smavet with %d", run.Tool.Driver.Name, len(run.Tool.Driver.Rules), len(All()))
+	}
+	wantLevels := []string{"error", "warning", "note"}
+	if len(run.Results) != 3 {
+		t.Fatalf("%d SARIF results, want 3", len(run.Results))
+	}
+	for i, r := range run.Results {
+		if r.Level != wantLevels[i] {
+			t.Errorf("result %d level %q, want %q", i, r.Level, wantLevels[i])
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package analysis
 
+import "strings"
+
 // Config carries the project-specific knobs of the smavet analyzers.
 // DefaultConfig encodes this repository's conventions; cmd/smavet exposes
 // flags that extend the name sets for out-of-tree use.
@@ -26,6 +28,28 @@ type Config struct {
 	// GridPkgSuffix identifies the package whose types goroutinecapture
 	// treats as shared pixel state.
 	GridPkgSuffix string
+
+	// DetPkgSuffixes are the import-path suffixes of the deterministic
+	// kernel packages (detrange). Inside them, wall-clock reads
+	// (time.Now) and any unseeded randomness are errors: the paper's
+	// "parallel == sequential" validation and the golden fixtures both
+	// require that every computed value be a pure function of the
+	// inputs, never of the schedule or the clock.
+	DetPkgSuffixes []string
+
+	// CtxStructAllow names the struct types approved to store a
+	// context.Context (ctxflow). Storing a ctx normally detaches it from
+	// the call chain and defeats cancellation; the approved types are
+	// deliberate roots (e.g. server.Pool's drain-escalation context,
+	// which must outlive every request by design).
+	CtxStructAllow map[string]bool
+
+	// ReasonRequired lists the checks whose //smavet:allow directives
+	// must carry a "-- reason". A bare allow for these checks does not
+	// suppress; the finding is re-reported until the why is written
+	// down. The concurrency & determinism suite starts reason-required;
+	// the PR-1 checks keep their historical directives grandfathered.
+	ReasonRequired map[string]bool
 }
 
 // DefaultConfig returns the smavet configuration for this repository.
@@ -54,7 +78,30 @@ func DefaultConfig() *Config {
 			"Set", "Fill", "Apply", "ApplyXY", "AddScaled", "Normalize",
 		),
 		GridPkgSuffix: "internal/grid",
+		DetPkgSuffixes: []string{
+			"internal/core", "internal/la", "internal/grid",
+			"internal/surface", "internal/flow", "internal/maspar",
+		},
+		CtxStructAllow: set(
+			// Pool.forceCtx is the shutdown drain-escalation root: it must
+			// outlive every request and is cancelled only by Shutdown.
+			"Pool",
+		),
+		ReasonRequired: set(
+			"lockscope", "ctxflow", "atomicmix", "detrange", "goleak",
+		),
 	}
+}
+
+// detPkg reports whether pkgPath is one of the deterministic kernel
+// packages.
+func (c *Config) detPkg(pkgPath string) bool {
+	for _, suf := range c.DetPkgSuffixes {
+		if strings.HasSuffix(pkgPath, suf) {
+			return true
+		}
+	}
+	return false
 }
 
 func set(names ...string) map[string]bool {

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow protects the cancellation chain the serving layer depends on
+// (request deadline → stream.RunCtx → core.TrackPreparedParallelCtx row
+// loops). Three rules:
+//
+//   - a function that receives a context.Context must thread it into
+//     every callee that accepts one — a call whose context-typed
+//     parameter gets no context argument silently detaches the callee
+//     from the caller's deadline;
+//   - context.Background()/context.TODO() must not be minted in library
+//     packages. With a ctx already in scope it is an error (derive with
+//     context.WithTimeout/WithoutCancel instead); without one it is a
+//     warning — either the function should accept a ctx or the site is a
+//     deliberate root and says so with a reasoned //smavet:allow;
+//   - a context must not be stored in a struct field outside the
+//     approved types (Config.CtxStructAllow): stored contexts outlive
+//     their cancellation scope and resurrect exactly the leaks the chain
+//     exists to prevent.
+//
+// Package main is exempt from the minting rules — main is where roots
+// belong.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts must be threaded, not re-minted or stored in structs",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	info := p.Pkg.Info
+	isMain := p.Pkg.Types.Name() == "main"
+
+	// Struct fields of type context.Context outside the approved set.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || p.Cfg.CtxStructAllow[ts.Name.Name] {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+					p.Reportf(field.Pos(), "struct %s stores a context.Context; pass it per call or add the type to the approved roots", ts.Name.Name)
+				}
+			}
+			return true
+		})
+	}
+
+	funcDecls(p.Pkg, func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		hasCtx := false
+		for _, field := range fd.Type.Params.List {
+			if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+				hasCtx = true
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := contextMint(info, call); name != "" && !isMain {
+				switch {
+				case name == "TODO":
+					p.Reportf(call.Pos(), "context.TODO() in library code; thread a real Context from the caller")
+				case hasCtx:
+					p.Reportf(call.Pos(), "context.Background() minted with a ctx already in scope; derive via context.WithTimeout/WithoutCancel so cancellation still chains")
+				default:
+					p.Warnf(call.Pos(), "context.Background() minted in library code; accept a ctx from the caller or mark this as a deliberate root")
+				}
+				return true
+			}
+			if hasCtx && dropsContext(info, call) {
+				p.Reportf(call.Pos(), "call to %s accepts a context.Context but none is passed; thread the caller's ctx", callName(call))
+			}
+			return true
+		})
+	})
+}
+
+// contextMint matches context.Background()/context.TODO() calls and
+// returns the function name, or "".
+func contextMint(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name()
+	}
+	return ""
+}
+
+// dropsContext reports whether call's callee declares a context.Context
+// parameter but no argument of context type is being passed.
+func dropsContext(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	wantsCtx := false
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			wantsCtx = true
+			break
+		}
+	}
+	if !wantsCtx {
+		return false
+	}
+	for _, arg := range call.Args {
+		if atv, ok := info.Types[arg]; ok && isContextType(atv.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return exprName(fn.X) + "." + fn.Sel.Name
+	}
+	return "function"
+}

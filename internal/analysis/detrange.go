@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetRange guards the paper's schedule-independence contract: the golden
+// fixtures and the "parallel == sequential" equivalence matrix both
+// require that every computed value be a pure function of the inputs —
+// never of Go's randomized map iteration order, the shared math/rand
+// source, or the wall clock. Three rule families:
+//
+//   - results fed from a range over a map: a float compound-assignment to
+//     a variable declared outside the loop accumulates in map order
+//     (float addition is not associative, so the sum differs run to
+//     run); appends to an outer slice build an arbitrarily-ordered list
+//     (exempt when the slice is later passed to sort/slices in the same
+//     function — the append-then-sort idiom is the approved fix); and a
+//     write/encode call inside the body emits bytes in map order;
+//   - package-level math/rand (and math/rand/v2) functions draw from the
+//     shared, unseeded source: a warning anywhere, an error inside the
+//     deterministic kernel packages (Config.DetPkgSuffixes). Methods on
+//     an explicitly-seeded *rand.Rand are always fine;
+//   - time.Now() inside a deterministic kernel package leaks the clock
+//     into computed values.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "results must not depend on map order, unseeded randomness, or the clock",
+	Run:  runDetRange,
+}
+
+func runDetRange(p *Pass) {
+	info := p.Pkg.Info
+	det := p.Cfg.detPkg(p.Pkg.Path)
+
+	funcDecls(p.Pkg, func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		sorted := sortedObjects(info, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						checkMapRangeBody(p, info, n, sorted)
+					}
+				}
+			case *ast.CallExpr:
+				checkDetCall(p, info, det, n)
+			}
+			return true
+		})
+	})
+}
+
+// checkMapRangeBody flags order-dependent work inside the body of a range
+// over a map.
+func checkMapRangeBody(p *Pass, info *types.Info, rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	outer := func(e ast.Expr) types.Object {
+		obj := lhsObject(info, e)
+		if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+			return nil
+		}
+		return obj
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range reports for itself.
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				obj := outer(n.Lhs[0])
+				if obj == nil || !isFloatType(obj.Type()) {
+					return true
+				}
+				p.Reportf(n.Pos(), "float accumulation into %s inside range over a map: the sum depends on iteration order; iterate sorted keys", obj.Name())
+			case token.ASSIGN:
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) {
+					return true
+				}
+				obj := outer(n.Lhs[0])
+				if obj == nil || sorted[obj] {
+					return true
+				}
+				p.Reportf(n.Pos(), "append to %s inside range over a map builds an arbitrarily-ordered slice; sort it before use or iterate sorted keys", obj.Name())
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+				p.Reportf(n.Pos(), "%s inside range over a map emits output in map iteration order; iterate sorted keys", callName(n))
+			}
+		}
+		return true
+	})
+}
+
+// writerMethods are the output-emitting call names that make map-order
+// iteration observable in bytes on the wire or on disk.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteField": true, "Encode": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+// checkDetCall flags unseeded randomness and, in deterministic kernel
+// packages, wall-clock reads.
+func checkDetCall(p *Pass, info *types.Info, det bool, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return // methods on an explicitly-constructed *rand.Rand
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			return
+		}
+		if det {
+			p.Reportf(call.Pos(), "package-level %s.%s in a deterministic kernel package draws from the shared unseeded source; thread a seeded *rand.Rand from the caller", fn.Pkg().Name(), fn.Name())
+		} else {
+			p.Warnf(call.Pos(), "package-level %s.%s draws from the shared unseeded source; use a seeded *rand.Rand so runs reproduce", fn.Pkg().Name(), fn.Name())
+		}
+	case "time":
+		if fn.Name() == "Now" && det {
+			p.Reportf(call.Pos(), "time.Now() in a deterministic kernel package; computed values must be pure functions of the inputs")
+		}
+	}
+}
+
+// sortedObjects collects every object that appears in the arguments of a
+// sort or slices call anywhere in body — the append-then-sort exemption.
+func sortedObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if o := info.Uses[id]; o != nil {
+						out[o] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// lhsObject resolves the variable or field an assignment target denotes.
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := info.Uses[e]; o != nil {
+			return o
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return lhsObject(info, e.X)
+	case *ast.StarExpr:
+		return lhsObject(info, e.X)
+	case *ast.ParenExpr:
+		return lhsObject(info, e.X)
+	}
+	return nil
+}
+
+func isFloatType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isBuiltinAppend matches a call to the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak requires every goroutine launched from a function literal to
+// have a join the enclosing function can see:
+//
+//   - a goroutine that calls wg.Done needs a wg.Add somewhere in the
+//     enclosing function — Done without Add panics the counter negative
+//     or lets Wait return before the work finishes;
+//   - a send on a function-local unbuffered channel that nothing in the
+//     enclosing function receives blocks forever: the goroutine leaks
+//     and holds its captures alive. Channels that escape (passed to a
+//     call, returned, stored) are joined elsewhere and skipped;
+//   - a goroutine body with no join signal at all — no WaitGroup.Done,
+//     no channel send, close, or receive, no select — is fire-and-forget.
+//     That is a warning, not an error: some detached work is deliberate
+//     (sweepers with their own cancellation), but it should be explicit.
+//
+// `go f(x)` with a named callee is skipped: the join lives inside f,
+// beyond function-local analysis.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines need a join: WaitGroup pairing or a drained channel",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *Pass) {
+	info := p.Pkg.Info
+	funcDecls(p.Pkg, func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		adds := waitGroupAdds(info, fd.Body)
+		chans := localChannels(info, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				checkGoLitJoin(p, info, gs, lit, adds, chans)
+			}
+			return true
+		})
+	})
+}
+
+// chanInfo is what goleak knows about a channel made in the enclosing
+// function.
+type chanInfo struct {
+	unbuffered bool
+	escapes    bool // passed to a call, returned: drained elsewhere
+	received   bool // <-ch, range ch, or a select recv case in the function
+}
+
+// waitGroupAdds collects the WaitGroup objects with an Add call anywhere
+// in body.
+func waitGroupAdds(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj := waitGroupMethodRecv(info, call, "Add"); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// waitGroupMethodRecv matches call as wg.<method>() on a sync.WaitGroup
+// and returns the receiver's object.
+func waitGroupMethodRecv(info *types.Info, call *ast.CallExpr, method string) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	recv := rootObject(info, sel.X)
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if tv, ok := info.Types[sel.X]; ok {
+		t = tv.Type
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "WaitGroup" {
+		return nil
+	}
+	return recv
+}
+
+// localChannels maps each channel made in body to what goleak knows
+// about it.
+func localChannels(info *types.Info, body *ast.BlockStmt) map[types.Object]*chanInfo {
+	out := map[types.Object]*chanInfo{}
+
+	// Declarations: ch := make(chan T[, n]).
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				continue
+			}
+			if tv, ok := info.Types[call.Args[0]]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+					continue
+				}
+			}
+			lhs, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := info.Defs[lhs]; obj != nil {
+				out[obj] = &chanInfo{unbuffered: len(call.Args) == 1}
+			}
+		}
+		return true
+	})
+	if len(out) == 0 {
+		return out
+	}
+
+	mark := func(e ast.Expr, f func(*chanInfo)) {
+		if id, ok := e.(*ast.Ident); ok {
+			if ci := out[info.Uses[id]]; ci != nil {
+				f(ci)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				mark(n.X, func(ci *chanInfo) { ci.received = true })
+			}
+		case *ast.RangeStmt:
+			mark(n.X, func(ci *chanInfo) { ci.received = true })
+		case *ast.CallExpr:
+			name := ""
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					name = b.Name()
+				}
+			}
+			if name == "make" || name == "close" || name == "len" || name == "cap" {
+				return true
+			}
+			for _, arg := range n.Args {
+				mark(arg, func(ci *chanInfo) { ci.escapes = true })
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				mark(r, func(ci *chanInfo) { ci.escapes = true })
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				for _, r := range n.Rhs {
+					mark(r, func(ci *chanInfo) { ci.escapes = true })
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkGoLitJoin inspects one `go func(){...}()` body for its join.
+func checkGoLitJoin(p *Pass, info *types.Info, gs *ast.GoStmt, lit *ast.FuncLit, adds map[types.Object]bool, chans map[types.Object]*chanInfo) {
+	joined := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := waitGroupMethodRecv(info, n, "Done"); obj != nil {
+				joined = true
+				if !adds[obj] {
+					p.Reportf(gs.Pos(), "goroutine calls %s.Done but %s.Add is never called in this function; Add before the go statement or Wait returns early", obj.Name(), obj.Name())
+				}
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					joined = true
+				}
+			}
+		case *ast.SendStmt:
+			joined = true
+			if id, ok := n.Chan.(*ast.Ident); ok {
+				if ci := chans[info.Uses[id]]; ci != nil && ci.unbuffered && !ci.escapes && !ci.received {
+					p.Reportf(n.Pos(), "goroutine sends on unbuffered %s but nothing in this function receives; the send blocks forever and the goroutine leaks", id.Name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				joined = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					joined = true
+				}
+			}
+		case *ast.SelectStmt:
+			joined = true
+		}
+		return true
+	})
+	if !joined {
+		p.Warnf(gs.Pos(), "goroutine has no visible join: no WaitGroup.Done, channel operation, or cancellation receive; make the lifetime explicit or mark a deliberate fire-and-forget")
+	}
+}

@@ -1,0 +1,395 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockScope checks the three mutex-misuse shapes that turn the server
+// queue, TTL store and metrics registry into deadlocks or silent races:
+//
+//   - a sync.Mutex/RWMutex (or a struct containing one) copied by value —
+//     a value receiver, a by-value parameter, an assignment from an
+//     existing value, or a by-value range — forks the lock state, so two
+//     goroutines each lock their own copy and race on the shared data;
+//   - a Lock with a return path that skips the Unlock (no deferred
+//     unlock): the next contender blocks forever;
+//   - a lock held across a blocking operation — channel send/receive,
+//     select without default, sync.WaitGroup.Wait, time.Sleep, or an
+//     HTTP/network round trip. Any goroutine that needs the same mutex
+//     to make the blocking operation complete is a deadlock; at best the
+//     critical section stretches over I/O latencies.
+//
+// The path analysis is function-local: statements are walked in order
+// with branch bodies explored under a copy of the lock state, which
+// catches the early-return and blocking shapes without a full CFG.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "mutexes must not be copied, leaked past a return, or held across blocking ops",
+	Run:  runLockScope,
+}
+
+func runLockScope(p *Pass) {
+	info := p.Pkg.Info
+	funcDecls(p.Pkg, func(fd *ast.FuncDecl) {
+		// Mutex copies via value receivers and by-value parameters.
+		if fd.Recv != nil {
+			for _, field := range fd.Recv.List {
+				checkLockParam(p, field)
+			}
+		}
+		for _, field := range fd.Type.Params.List {
+			checkLockParam(p, field)
+		}
+		if fd.Body != nil {
+			ls := &lockState{p: p, info: info}
+			ls.block(fd.Body.List, map[string]token.Pos{})
+		}
+	})
+
+	// Mutex copies via assignment and range, anywhere in the package.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if !copiesLockValue(info, rhs) {
+						continue
+					}
+					p.Reportf(n.Pos(), "assignment copies %s, which contains a sync lock; share it by pointer", typeName(info, rhs))
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				// A := range value lives in Defs; an assigned one in Types.
+				var vt types.Type
+				if tv, ok := info.Types[n.Value]; ok {
+					vt = tv.Type
+				} else if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						vt = obj.Type()
+					}
+				}
+				if vt != nil && containsLock(vt) {
+					p.Reportf(n.Value.Pos(), "range copies %s values, which contain a sync lock; range over indices or pointers", shortTypeName(vt))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkLockParam(p *Pass, field *ast.Field) {
+	tv, ok := p.Pkg.Info.Types[field.Type]
+	if !ok || !containsLock(tv.Type) {
+		return
+	}
+	p.Reportf(field.Pos(), "%s passes a sync lock by value; use a pointer", typeName(p.Pkg.Info, field.Type))
+}
+
+// copiesLockValue reports whether evaluating rhs copies an existing
+// lock-containing value. Fresh composite literals and address-taking are
+// initialization, not copies.
+func copiesLockValue(info *types.Info, rhs ast.Expr) bool {
+	switch rhs.(type) {
+	case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr, *ast.FuncLit:
+		return false
+	}
+	tv, ok := info.Types[rhs]
+	if !ok {
+		return false
+	}
+	return containsLock(tv.Type)
+}
+
+// containsLock reports whether t (not through pointers) is or embeds a
+// sync.Mutex, RWMutex, WaitGroup, Once or Cond.
+func containsLock(t types.Type) bool {
+	return containsLockDepth(t, 0)
+}
+
+func containsLockDepth(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockDepth(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// typeName renders e's type compactly for diagnostics.
+func typeName(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok {
+		return "value"
+	}
+	return shortTypeName(tv.Type)
+}
+
+func shortTypeName(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// lockState walks a statement list tracking which mutexes are locked.
+// Keys are the textual form of the receiver expression ("s.mu"), which is
+// exact enough function-locally.
+type lockState struct {
+	p    *Pass
+	info *types.Info
+}
+
+// block analyzes stmts under the held set (key → Lock position) and
+// returns the held set at the end of the list. deferred unlocks clear
+// their key immediately: the lock is guaranteed released on every path.
+func (ls *lockState) block(stmts []ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	for _, s := range stmts {
+		held = ls.stmt(s, held)
+	}
+	return held
+}
+
+func (ls *lockState) stmt(s ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lockCall(ls.info, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held = cloneHeld(held)
+				held[key] = s.Pos()
+			case "Unlock", "RUnlock":
+				held = cloneHeld(held)
+				delete(held, key)
+			}
+			return held
+		}
+		ls.checkBlocking(s.X, held)
+	case *ast.DeferStmt:
+		if key, op, ok := lockCall(ls.info, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			held = cloneHeld(held)
+			delete(held, key)
+			return held
+		}
+	case *ast.ReturnStmt:
+		for _, key := range heldKeys(held) {
+			ls.p.Reportf(s.Pos(), "return with %s.Lock still held and no deferred unlock; the next contender deadlocks", key)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = ls.stmt(s.Init, held)
+		}
+		ls.block(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			ls.stmt(s.Else, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		held = ls.block(s.List, held)
+	case *ast.ForStmt:
+		ls.checkBlockingCond(s.Cond, held)
+		ls.block(s.Body.List, cloneHeld(held))
+	case *ast.RangeStmt:
+		if tv, ok := ls.info.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				ls.reportBlocking(s.Pos(), "receives from channel "+exprName(s.X), held)
+			}
+		}
+		ls.block(s.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.block(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.block(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			ls.reportBlocking(s.Pos(), "blocks in select", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ls.block(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SendStmt:
+		ls.reportBlocking(s.Pos(), "sends on channel "+exprName(s.Chan), held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			ls.checkBlocking(r, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs under its own schedule; not this lock.
+	case *ast.LabeledStmt:
+		held = ls.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+// checkBlocking flags blocking expressions evaluated while a lock is
+// held: channel receives and known-blocking calls.
+func (ls *lockState) checkBlocking(e ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ls.reportBlocking(n.Pos(), "receives from channel "+exprName(n.X), held)
+			}
+		case *ast.CallExpr:
+			if desc := blockingCallDesc(ls.info, n); desc != "" {
+				ls.reportBlocking(n.Pos(), desc, held)
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+}
+
+func (ls *lockState) checkBlockingCond(e ast.Expr, held map[string]token.Pos) {
+	if e != nil {
+		ls.checkBlocking(e, held)
+	}
+}
+
+func (ls *lockState) reportBlocking(pos token.Pos, what string, held map[string]token.Pos) {
+	for _, key := range heldKeys(held) {
+		ls.p.Reportf(pos, "%s while holding %s; move the blocking operation outside the critical section", what, key)
+	}
+}
+
+// heldKeys returns the held mutex names in sorted order so findings come
+// out deterministically regardless of map iteration.
+func heldKeys(held map[string]token.Pos) []string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockCall matches e as a Lock/Unlock/RLock/RUnlock call on a sync mutex
+// and returns the receiver's textual key and the method name.
+func lockCall(info *types.Info, e ast.Expr) (key, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isMutexExpr(info, sel.X) {
+		return "", "", false
+	}
+	return exprName(sel.X), sel.Sel.Name, true
+}
+
+// isMutexExpr reports whether e's type (through one pointer) is
+// sync.Mutex or sync.RWMutex.
+func isMutexExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// blockingCallDesc classifies call as a known-blocking operation and
+// describes it, or returns "".
+func blockingCallDesc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if obj.Name() == "Sleep" {
+			return "calls time.Sleep"
+		}
+	case "sync":
+		if obj.Name() == "Wait" {
+			return "calls " + exprName(sel.X) + ".Wait"
+		}
+	case "net/http", "net":
+		// Client.Do, Get, Post, Dial, ... — any network round trip.
+		return "calls " + obj.Pkg().Name() + "." + obj.Name() + " (network round trip)"
+	}
+	// Method Wait on a sync type reached through a named wrapper.
+	if sel.Sel.Name == "Wait" {
+		if fn, isFn := obj.(*types.Func); isFn {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				if containsLock(recv.Type()) || strings.Contains(recv.Type().String(), "sync.") {
+					return "calls " + exprName(sel.X) + ".Wait"
+				}
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the machine-readable finding shape emitted by
+// `smavet -json`. Paths are module-relative so CI artifacts diff cleanly
+// across runners.
+type JSONFinding struct {
+	File      string `json:"file"`
+	Line      int    `json:"line"`
+	Column    int    `json:"column"`
+	Check     string `json:"check"`
+	Severity  string `json:"severity"`
+	Message   string `json:"message"`
+	Baselined bool   `json:"baselined,omitempty"`
+}
+
+// JSONReport is the top-level `smavet -json` document.
+type JSONReport struct {
+	Version  int           `json:"version"`
+	Findings []JSONFinding `json:"findings"`
+	Stale    []string      `json:"stale_baseline,omitempty"`
+}
+
+// WriteJSON renders findings (gating first, then baselined, each already
+// sorted) as one indented JSON document.
+func WriteJSON(w io.Writer, root string, gating, baselined []Finding, stale []string) error {
+	rep := JSONReport{Version: 1, Findings: []JSONFinding{}, Stale: stale}
+	add := func(fs []Finding, base bool) {
+		for _, f := range fs {
+			rep.Findings = append(rep.Findings, JSONFinding{
+				File:      relPath(root, f.Pos.Filename),
+				Line:      f.Pos.Line,
+				Column:    f.Pos.Column,
+				Check:     f.Check,
+				Severity:  f.Severity,
+				Message:   f.Message,
+				Baselined: base,
+			})
+		}
+	}
+	add(gating, false)
+	add(baselined, true)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// SARIF 2.1.0 document shapes — the minimal subset code-scanning UIs
+// consume. Hand-rolled structs keep the output deterministic.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID   string `json:"id"`
+	Desc struct {
+		Text string `json:"text"`
+	} `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID  string `json:"ruleId"`
+	Level   string `json:"level"`
+	Message struct {
+		Text string `json:"text"`
+	} `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	Physical struct {
+		Artifact struct {
+			URI string `json:"uri"`
+		} `json:"artifactLocation"`
+		Region struct {
+			StartLine   int `json:"startLine"`
+			StartColumn int `json:"startColumn,omitempty"`
+		} `json:"region"`
+	} `json:"physicalLocation"`
+}
+
+// WriteSARIF renders the gating findings as a SARIF 2.1.0 log. Baselined
+// findings are downgraded to "note" so scanners show them without
+// failing anything.
+func WriteSARIF(w io.Writer, root string, analyzers []*Analyzer, gating, baselined []Finding) error {
+	driver := sarifDriver{Name: "smavet"}
+	for _, a := range analyzers {
+		r := sarifRule{ID: a.Name}
+		r.Desc.Text = a.Doc
+		driver.Rules = append(driver.Rules, r)
+	}
+	results := []sarifResult{}
+	add := func(fs []Finding, level func(Finding) string) {
+		for _, f := range fs {
+			res := sarifResult{RuleID: f.Check, Level: level(f)}
+			res.Message.Text = f.Message
+			var loc sarifLocation
+			loc.Physical.Artifact.URI = relPath(root, f.Pos.Filename)
+			loc.Physical.Region.StartLine = f.Pos.Line
+			loc.Physical.Region.StartColumn = f.Pos.Column
+			res.Locations = []sarifLocation{loc}
+			results = append(results, res)
+		}
+	}
+	add(gating, func(f Finding) string {
+		if f.Severity == SevWarn {
+			return "warning"
+		}
+		return "error"
+	})
+	add(baselined, func(Finding) string { return "note" })
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,53 @@
+// Fixture for the atomicmix analyzer: fields touched by sync/atomic
+// anywhere must be touched atomically everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) plainRead() int64 {
+	return s.hits // want atomicmix
+}
+
+func (s *stats) plainWrite() {
+	s.hits = 0 // want atomicmix
+	atomic.AddInt64(&s.misses, 1)
+}
+
+func (s *stats) goodAtomicRead() int64 {
+	return atomic.LoadInt64(&s.misses)
+}
+
+var ready uint32
+
+func setReady() {
+	atomic.StoreUint32(&ready, 1)
+}
+
+func badReadyCheck() bool {
+	return ready == 1 // want atomicmix
+}
+
+func goodReadyCheck() bool {
+	return atomic.LoadUint32(&ready) == 1
+}
+
+type plain struct {
+	n int64
+}
+
+func (p *plain) inc() {
+	p.n++
+}
+
+func (p *plain) read() int64 {
+	return p.n
+}

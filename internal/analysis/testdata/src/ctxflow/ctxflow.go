@@ -1,0 +1,56 @@
+// Fixture for the ctxflow analyzer: contexts stored in structs, dropped
+// instead of threaded, and minted in library code.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+type holder struct {
+	ctx context.Context // want ctxflow
+	n   int
+}
+
+// Pool is in Config.CtxStructAllow: an approved deliberate root.
+type Pool struct {
+	ctx context.Context
+}
+
+func callee(ctx context.Context, n int) {}
+
+func noCtx(n int) {}
+
+func drops(ctx context.Context) {
+	callee(nil, 1) // want ctxflow
+	callee(ctx, 2)
+	noCtx(3)
+}
+
+func goodDerive(ctx context.Context) {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	callee(tctx, 1)
+}
+
+func mintWithCtxInScope(ctx context.Context) {
+	callee(context.Background(), 1) // want ctxflow
+}
+
+func mintTODO() {
+	callee(context.TODO(), 1) // want ctxflow
+}
+
+func mintRoot() context.Context {
+	return context.Background() // want ctxflow
+}
+
+func allowedRoot() context.Context {
+	//smavet:allow ctxflow -- fixture: a deliberate root with its reason written down
+	return context.Background()
+}
+
+func bareAllowedRoot() context.Context {
+	//smavet:allow ctxflow
+	return context.Background() // want ctxflow
+}

@@ -1,0 +1,86 @@
+// Fixture for the detrange analyzer: map-order-dependent accumulation,
+// appends, and output writes, plus shared-source randomness.
+package detrange
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+)
+
+func badFloatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want detrange
+	}
+	return total
+}
+
+func goodIntSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want detrange
+	}
+	return keys
+}
+
+func goodSortedAppend(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func badWrite(w io.Writer, m map[string]string) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%s\n", k, v) // want detrange
+	}
+}
+
+func goodSortedWrite(w io.Writer, m map[string]string) {
+	for _, k := range goodSortedAppendStrings(m) {
+		fmt.Fprintf(w, "%s=%s\n", k, m[k])
+	}
+}
+
+func goodSortedAppendStrings(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodLocalAccumulation(m map[string][]float64) int {
+	count := 0
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		if s > 1 {
+			count++
+		}
+	}
+	return count
+}
+
+func badSharedRand() int {
+	return rand.Intn(10) // want detrange
+}
+
+func goodSeededRand(r *rand.Rand) int {
+	return r.Intn(10)
+}

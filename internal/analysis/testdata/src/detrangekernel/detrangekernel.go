@@ -1,0 +1,22 @@
+// Fixture for detrange's deterministic-kernel-package mode: the test
+// extends Config.DetPkgSuffixes with this package's path, which upgrades
+// shared-source randomness to an error and makes wall-clock reads
+// findings at all.
+package detrangekernel
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() int64 {
+	return rand.Int63() // error in a det package
+}
+
+func Stamp() time.Time {
+	return time.Now() // error in a det package
+}
+
+func GoodSeeded(r *rand.Rand) float64 {
+	return r.Float64()
+}

@@ -1,0 +1,85 @@
+// Fixture for the goleak analyzer: goroutines without a join the
+// enclosing function can see.
+package goleak
+
+import "sync"
+
+func badDoneWithoutAdd() {
+	var wg sync.WaitGroup
+	go func() { // want goleak
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func goodAddDonePair(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func badUndrainedSend() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want goleak
+	}()
+}
+
+func goodDrainedSend() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}
+
+func goodBufferedSend() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+func goodEscapingSend(use func(chan int)) {
+	ch := make(chan int)
+	use(ch)
+	go func() {
+		ch <- 1
+	}()
+}
+
+func badFireAndForget(f func()) {
+	go func() { // want goleak
+		f()
+	}()
+}
+
+func goodNamedCallee(f func()) {
+	go f()
+}
+
+func goodCancellationLoop(done chan struct{}, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+func goodCloseSignal() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}

@@ -1,0 +1,100 @@
+// Fixture for the lockscope analyzer: lock copies, a Lock with a return
+// path that skips the Unlock, and blocking operations inside critical
+// sections.
+package lockscope
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) valueReceiver() int { // want lockscope
+	return c.n
+}
+
+func takeByValue(mu sync.Mutex) { // want lockscope
+	mu.Lock()
+	mu.Unlock()
+}
+
+func waitGroupByValue(wg sync.WaitGroup) { // want lockscope
+	wg.Wait()
+}
+
+func assignCopy(c *counter) {
+	cp := *c // want lockscope
+	cp.n++
+}
+
+func rangeCopy(cs []counter) {
+	for _, c := range cs { // want lockscope
+		c.n++
+	}
+}
+
+func returnHeld(c *counter) int {
+	c.mu.Lock()
+	if c.n > 0 {
+		return c.n // want lockscope
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func goodDeferUnlock(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func goodBalanced(c *counter) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func sendHeld(c *counter, ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want lockscope
+	c.mu.Unlock()
+}
+
+func sleepHeld(c *counter) {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockscope
+	c.mu.Unlock()
+}
+
+func recvHeld(c *counter, ch chan int) {
+	c.mu.Lock()
+	c.n = <-ch // want lockscope
+	c.mu.Unlock()
+}
+
+func goodSelectDefault(c *counter, ch chan int) {
+	c.mu.Lock()
+	select {
+	case ch <- c.n:
+	default:
+	}
+	c.mu.Unlock()
+}
+
+func goodBlockingOutside(c *counter, ch chan int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	ch <- n
+}
+
+func goodPointerUse(c *counter, mu *sync.Mutex) {
+	mu.Lock()
+	c.n++
+	mu.Unlock()
+}

@@ -33,7 +33,7 @@ func TrackParallel(pair Pair, p Params, opt Options, workers int) (*Result, erro
 // bit-identical to TrackPrepared at every worker count — the property the
 // streaming pipeline's row-parallel mode relies on.
 func TrackPreparedParallel(prep *Prepared, sm *SemiMap, opt Options, workers int) *Result {
-	//smavet:allow errdiscard -- context.Background is never cancelled, so the error is impossible
+	//smavet:allow errdiscard,ctxflow -- non-ctx compatibility wrapper: a deliberate uncancellable root, so the error is impossible
 	res, _ := TrackPreparedParallelCtx(context.Background(), prep, sm, opt, workers)
 	return res
 }
@@ -46,7 +46,7 @@ func TrackPreparedParallel(prep *Prepared, sm *SemiMap, opt Options, workers int
 // threads down to.
 func TrackPreparedParallelCtx(ctx context.Context, prep *Prepared, sm *SemiMap, opt Options, workers int) (*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //smavet:allow ctxflow -- nil-guard: a nil ctx documents "never cancel", and there is nothing to derive from
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

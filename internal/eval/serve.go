@@ -38,18 +38,21 @@ type ServeThroughput struct {
 // drives it with the load generator, and reports the latency
 // distribution. It errors if any request fails or any motion field is not
 // bit-identical to a local sequential track of the same uploaded bytes.
-func ServeThroughputExperiment(size, requests, concurrency, workers int, seed int64) (ServeThroughput, error) {
+// The load run is bounded by ctx (and a 10-minute safety cap).
+func ServeThroughputExperiment(ctx context.Context, size, requests, concurrency, workers int, seed int64) (ServeThroughput, error) {
 	out := ServeThroughput{Name: "serve_throughput", Size: size, Requests: requests, Concurrency: concurrency}
 	srv := server.New(server.Config{Workers: workers})
 	ts := httptest.NewServer(srv.Handler())
 	defer func() {
 		ts.Close()
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// Teardown must drain even when the driving ctx is already
+		// cancelled, so only the timeout binds here.
+		sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 30*time.Second)
 		defer cancel()
-		srv.Shutdown(ctx) //smavet:allow errdiscard -- teardown of a drained test server
+		srv.Shutdown(sctx) //smavet:allow errdiscard -- teardown of a drained test server
 	}()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Minute)
 	defer cancel()
 	res, err := server.RunLoad(ctx, server.LoadOptions{
 		URL:         ts.URL,

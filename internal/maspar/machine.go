@@ -20,6 +20,7 @@ package maspar
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -219,9 +220,16 @@ func (c Config) Breakdown(cost Cost) map[string]float64 {
 		"router": float64(cost.RouterSends) * 4 * n / c.RouterBW,
 		"acu":    float64(cost.ScalarOps) / c.ClockHz,
 	}
+	// Sum in sorted key order: float addition is order-dependent in the
+	// last ulp, and the shares must not vary with map iteration order.
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var total float64
-	for _, v := range parts {
-		total += v
+	for _, k := range keys {
+		total += parts[k]
 	}
 	if total == 0 {
 		return map[string]float64{}

@@ -299,7 +299,11 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	jobCtx, jobCancel := context.WithCancel(context.Background())
+	// The job deliberately outlives the submitting request: derive from
+	// the request context without its cancellation, so request-scoped
+	// values survive but a client disconnect cannot kill a queued job
+	// (DELETE /v1/jobs/{id} is the cancellation surface).
+	jobCtx, jobCancel := context.WithCancel(context.WithoutCancel(r.Context()))
 	job := &Job{ID: id, status: JobQueued, created: time.Now(), frames: frames, cancel: jobCancel}
 	opt := core.Options{Robust: req.Robust}
 

@@ -137,8 +137,13 @@ func BuildTrackRequest(opt LoadOptions) (body []byte, contentType string, pair c
 	if opt.Params.NSS != nil {
 		fields["nss"] = strconv.Itoa(*opt.Params.NSS)
 	}
-	for k, v := range fields {
-		if err := mw.WriteField(k, v); err != nil {
+	names := make([]string, 0, len(fields))
+	for k := range fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if err := mw.WriteField(k, fields[k]); err != nil {
 			return nil, "", core.Pair{}, err
 		}
 	}
@@ -223,8 +228,11 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 	start := time.Now()
 	for c := 0; c < opt.Concurrency; c++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// Per-worker jitter source, seeded from the run seed so load
+			// runs reproduce while workers still decorrelate.
+			rng := rand.New(rand.NewSource(opt.Seed + int64(worker+1)*0x9e3779b9))
 			for range work {
 				t0 := time.Now()
 				// Backpressure rejections are retried after Retry-After,
@@ -245,7 +253,7 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 					rej, errMsg, mm := consumeTrackResponse(resp, want)
 					if rej {
 						select {
-						case <-time.After(retryDelay(resp)):
+						case <-time.After(retryDelay(resp, rng)):
 							recordRetry()
 							continue
 						case <-ctx.Done():
@@ -259,7 +267,7 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 					break
 				}
 			}
-		}()
+		}(c)
 	}
 feed:
 	for i := 0; i < opt.Requests; i++ {
@@ -316,7 +324,7 @@ feed:
 // runs keep moving), defaulting to 100ms. The returned delay is jittered
 // over its upper half so the load generator's concurrent workers do not
 // re-dogpile the admission queue in lockstep after a mass rejection.
-func retryDelay(resp *http.Response) time.Duration {
+func retryDelay(resp *http.Response, rng *rand.Rand) time.Duration {
 	d := 100 * time.Millisecond
 	if s := resp.Header.Get("Retry-After"); s != "" {
 		if sec, err := strconv.Atoi(s); err == nil && sec >= 0 {
@@ -329,7 +337,7 @@ func retryDelay(resp *http.Response) time.Duration {
 	if d <= 0 {
 		return 0
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 }
 
 // consumeTrackResponse drains one /v1/track response, classifying it as a

@@ -44,6 +44,7 @@ func NewPool(workers, depth int) *Pool {
 	if depth <= 0 {
 		depth = 2 * workers
 	}
+	//smavet:allow ctxflow -- the pool's force-abort root must outlive every request; only Shutdown cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &Pool{
 		tasks:       make(chan func(ctx context.Context), depth),

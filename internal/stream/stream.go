@@ -141,6 +141,7 @@ type pairResult struct {
 // corresponding pair. Pairs dropped by the degraded mode are not emitted;
 // Config.OnPairDrop observes them.
 func Stream(src Source, cfg Config, emit func(pair int, res *core.Result) error) (Stats, error) {
+	//smavet:allow ctxflow -- non-ctx compatibility wrapper: a deliberate uncancellable root for batch callers
 	return StreamCtx(context.Background(), src, cfg, emit)
 }
 
@@ -154,7 +155,7 @@ func Stream(src Source, cfg Config, emit func(pair int, res *core.Result) error)
 func StreamCtx(ctx context.Context, src Source, cfg Config, emit func(pair int, res *core.Result) error) (Stats, error) {
 	var st Stats
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //smavet:allow ctxflow -- nil-guard: a nil ctx documents "never cancel", and there is nothing to derive from
 	}
 	if src == nil {
 		return st, fmt.Errorf("stream: nil source")
@@ -512,6 +513,7 @@ func (pr *producer) framePrep(i int, f core.Frame) (*core.FramePrep, error) {
 // correspondence is lost — degraded-mode callers should use Stream with
 // OnPairDrop instead.
 func Run(src Source, cfg Config) ([]*core.Result, Stats, error) {
+	//smavet:allow ctxflow -- non-ctx compatibility wrapper: a deliberate uncancellable root for batch callers
 	return RunCtx(context.Background(), src, cfg)
 }
 

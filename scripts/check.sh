@@ -17,8 +17,18 @@ fi
 echo "== go vet"
 go vet ./... || fail=1
 
-echo "== smavet"
-go run ./cmd/smavet ./... || fail=1
+# The smavet stage emits the machine-readable report (CI uploads it as an
+# artifact) and gates on it: error findings and warn findings not frozen
+# in .smavet-baseline fail; stale baseline entries only warn on stderr.
+echo "== smavet (static analysis, JSON report + baseline gate)"
+SMAVET_JSON="${SMAVET_JSON:-smavet.json}"
+if go run ./cmd/smavet -json ./... > "$SMAVET_JSON"; then
+    echo "smavet: clean (report in $SMAVET_JSON)"
+else
+    echo "smavet: findings (report in $SMAVET_JSON):"
+    go run ./cmd/smavet ./... || true
+    fail=1
+fi
 
 echo "== go test -race"
 go test -race ./... || fail=1
