@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet smavet smavet-baseline race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke
+.PHONY: all build test check vet smavet smavet-baseline race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke scaling-smoke
 
 all: build
 
@@ -44,6 +44,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzReadPGM -fuzztime=$(FUZZTIME) ./internal/grid
 	$(GO) test -run=^$$ -fuzz=FuzzReadArea -fuzztime=$(FUZZTIME) ./internal/ingest
 	$(GO) test -run=^$$ -fuzz=FuzzPipelineScheduling -fuzztime=$(FUZZTIME) ./internal/stream
+	$(GO) test -run=^$$ -fuzz=FuzzTileScheduling -fuzztime=$(FUZZTIME) ./internal/core
 
 # serve-smoke: end-to-end smoke of the HTTP serving layer — real
 # smaserve process on a random port, verified concurrent load via
@@ -63,6 +64,13 @@ chaos-smoke:
 # (docs/PERFORMANCE.md).
 bench-smoke:
 	sh scripts/bench_smoke.sh
+
+# scaling-smoke: the strong/weak scaling study of the tile-scheduled
+# parallel driver (smabench -only scaling), gated on bit-identity,
+# 1-worker scheduler overhead, and — on hosts with >= 4 cores —
+# parallel beating serial at >= 4 workers (docs/PERFORMANCE.md §8).
+scaling-smoke:
+	sh scripts/scaling_smoke.sh
 
 fmt:
 	gofmt -w .

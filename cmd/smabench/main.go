@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smabench: ")
 	var (
-		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,track,stream,serve,chaos")
+		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,track,scaling,stream,serve,chaos")
 		size     = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
 		seed     = flag.Int64("seed", 5, "scene seed for the functional experiments")
 		report   = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
@@ -36,6 +36,8 @@ func main() {
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "where the serve benchmark writes its latency trajectory point")
 		chaosOut = flag.String("chaos-out", "BENCH_chaos.json", "where the chaos experiment writes its robustness trajectory point")
 		trackOut = flag.String("track-out", "BENCH_track.json", "where the track benchmark writes its kernel-throughput trajectory point")
+		scaleOut = flag.String("scaling-out", "BENCH_scaling.json", "where the scaling study writes its strong/weak trajectory point")
+		ladder   = flag.String("scaling-workers", "1,2,4,8", "comma-separated worker ladder for the scaling study")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -220,6 +222,47 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  wrote %s\n\n", *trackOut)
+	}
+	if run("scaling") {
+		var counts []int
+		for _, s := range strings.Split(*ladder, ",") {
+			var w int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &w); err != nil || w < 1 {
+				log.Fatalf("bad -scaling-workers entry %q", s)
+			}
+			counts = append(counts, w)
+		}
+		r, err := eval.ScalingExperiment(*size, counts, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Scaling study — tile-scheduled parallel driver (strong and weak)")
+		fmt.Printf("  base %d×%d semi-fluid pair, GOMAXPROCS %d\n", r.BaseSize, r.BaseSize, r.GoMaxProcs)
+		fmt.Printf("  serial: reference %.3fs, optimized %.3fs (%.2fx)\n",
+			r.ReferenceSec, r.SerialSec, r.SpeedupVsRef)
+		fmt.Println("  strong (fixed input):")
+		for _, pt := range r.Strong {
+			fmt.Printf("    %2d workers: %.3fs  speedup %.2fx  efficiency %.2f\n",
+				pt.Workers, pt.Sec, pt.Speedup, pt.Efficiency)
+		}
+		fmt.Println("  weak (pixels ∝ workers):")
+		for _, pt := range r.Weak {
+			fmt.Printf("    %2d workers @ %3d×%-3d: %.3fs  efficiency %.2f\n",
+				pt.Workers, pt.Size, pt.Size, pt.Sec, pt.Efficiency)
+		}
+		fmt.Printf("  parallel beats serial (≥4 workers): %v   bit-identical: %v\n",
+			r.ParallelBeatsSerial, r.BitIdentical)
+		f, err := os.Create(*scaleOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n\n", *scaleOut)
 	}
 	if run("stream") {
 		r, err := eval.StreamThroughputExperiment(*size, *frames, *workers, *seed)

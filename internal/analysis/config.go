@@ -61,15 +61,21 @@ func DefaultConfig() *Config {
 			"preparePixel", "scoreHyp",
 			"accumulateA", "accumulateB",
 			"residualSum", "residualSumBounded", "rowResiduals",
+			"residualSumBoundedReassoc",
 			"solveMotion", "factorMotion", "solveFactored",
 			"symmetrize", "robustRefine",
+			// batch (multi-hypothesis) kernel — batch.go
+			"trackPixelBatchFrom", "scoreHypLanes", "scoreLanes",
+			"copyLaneRHS", "rowResidualsLane",
+			"residualSumBoundedLane", "residualSumBoundedLaneReassoc",
+			"solveFactoredLanes",
 			// build-tagged reference kernel (same hot-path discipline)
 			"scoreReference", "trackPixelFromReference",
 			// surface fit per-pixel path
 			"Fit",
 			// linear algebra per-elimination path
 			"Solve6", "Cholesky6", "AccumulateNormal",
-			"Factor6", "SolveFactored6",
+			"Factor6", "SolveFactored6", "SolveFactored6Lanes",
 		),
 		NarrowSinks: set(
 			"Set", "Fill", "SetScalar", "AddScalar", "MulScalar", "Broadcast",

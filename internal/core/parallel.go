@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"sma/internal/grid"
 )
@@ -28,10 +27,12 @@ func TrackParallel(pair Pair, p Params, opt Options, workers int) (*Result, erro
 }
 
 // TrackPreparedParallel runs the hypothesis search on already-prepared
-// geometry with worker goroutines striping image rows (0 = GOMAXPROCS).
-// Rows are disjoint and the inputs read-only, so the result is
-// bit-identical to TrackPrepared at every worker count — the property the
-// streaming pipeline's row-parallel mode relies on.
+// geometry with worker goroutines claiming pixel tiles off a
+// work-stealing index (0 workers = GOMAXPROCS; tile size from
+// chooseTileSize unless Options.TileW/TileH override it). Tiles are
+// disjoint and the inputs read-only, so the result is bit-identical to
+// TrackPrepared at every worker count and tile size — the property the
+// streaming pipeline's parallel mode relies on.
 func TrackPreparedParallel(prep *Prepared, sm *SemiMap, opt Options, workers int) *Result {
 	//smavet:allow errdiscard,ctxflow -- non-ctx compatibility wrapper: a deliberate uncancellable root, so the error is impossible
 	res, _ := TrackPreparedParallelCtx(context.Background(), prep, sm, opt, workers)
@@ -39,11 +40,12 @@ func TrackPreparedParallel(prep *Prepared, sm *SemiMap, opt Options, workers int
 }
 
 // TrackPreparedParallelCtx is TrackPreparedParallel with cooperative
-// cancellation: when ctx is cancelled mid-search the row feed stops,
-// workers finish at most their current row each, and the call returns
-// (nil, ctx.Err()). Completed runs are bit-identical to TrackPrepared at
-// every worker count — this is the cancellation point a serving deadline
-// threads down to.
+// cancellation: when ctx is cancelled mid-search no further tile rows
+// start, workers finish at most their current row each (forEachTileRow
+// polls ctx before every row), and the call returns (nil, ctx.Err()).
+// Completed runs are bit-identical to TrackPrepared at every worker
+// count and tile size — this is the cancellation point a serving
+// deadline threads down to.
 func TrackPreparedParallelCtx(ctx context.Context, prep *Prepared, sm *SemiMap, opt Options, workers int) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background() //smavet:allow ctxflow -- nil-guard: a nil ctx documents "never cancel", and there is nothing to derive from
@@ -59,40 +61,35 @@ func TrackPreparedParallelCtx(ctx context.Context, prep *Prepared, sm *SemiMap, 
 			res.Motion[i] = grid.New(w, h)
 		}
 	}
-	rows := make(chan int)
-	done := ctx.Done()
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker owns a tracker (scratch buffers are not shared).
-			t := newTracker(prep, sm, opt)
-			for y := range rows {
-				for x := 0; x < w; x++ {
-					hx, hy, eps, theta := t.trackPixel(x, y)
-					res.Flow.Set(x, y, float32(hx), float32(hy))
-					res.Err.Set(x, y, float32(eps))
-					if opt.KeepMotion {
-						for i := range res.Motion {
-							res.Motion[i].Set(x, y, float32(theta[i]))
-						}
+	tw, th := opt.TileW, opt.TileH
+	if side := chooseTileSize(prep.P, w, h, workers); tw <= 0 {
+		tw = side
+		if th <= 0 {
+			th = side
+		}
+	} else if th <= 0 {
+		th = tw
+	}
+	g := newTileGrid(w, h, tw, th)
+	err := forEachTileRow(ctx, g, workers, func() func(t tileRect, y int) {
+		// Each worker owns a tracker (scratch buffers are not shared);
+		// pixels are written to disjoint result cells, so any
+		// pixel→worker assignment yields the same bits.
+		t := newTracker(prep, sm, opt)
+		return func(tile tileRect, y int) {
+			for x := tile.X0; x < tile.X1; x++ {
+				hx, hy, eps, theta := t.trackPixel(x, y)
+				res.Flow.Set(x, y, float32(hx), float32(hy))
+				res.Err.Set(x, y, float32(eps))
+				if opt.KeepMotion {
+					for i := range res.Motion {
+						res.Motion[i].Set(x, y, float32(theta[i]))
 					}
 				}
 			}
-		}()
-	}
-feed:
-	for y := 0; y < h; y++ {
-		select {
-		case rows <- y:
-		case <-done:
-			break feed
 		}
-	}
-	close(rows)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -17,6 +17,12 @@ import (
 // trajectory (eval.TrackThroughputExperiment → BENCH_track.json) measures
 // the speedup against this path. Building with `-tags smaref` routes the
 // whole tracker through it.
+//
+// The reference stays deliberately scalar: one hypothesis per pass, no
+// batching, no lane scratch. The batch kernel (batch.go) is pinned to
+// this path's bits at every batch width by the equivalence wall in
+// kernel_equiv_test.go — only Options.Reassoc is allowed to diverge, and
+// only within the tolerance bound documented in docs/PERFORMANCE.md §6.3.
 
 // scoreReference evaluates ε(x, y; x+hx, y+hy) by rebuilding and
 // eliminating the full normal equations for this single hypothesis.

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// FuzzTileScheduling drives forEachTileRow through randomized image
+// shapes, tile shapes, worker counts, and cancellation points —
+// mirroring FuzzPipelineScheduling in internal/stream. Whatever the
+// schedule:
+//   - without cancellation every pixel is visited exactly once and the
+//     call returns nil (so positional result assembly is trivially
+//     in-order: each pixel's cell is written by exactly one worker);
+//   - with cancellation no pixel is ever visited twice, at most
+//     `workers` extra rows run after the cancellation point (each
+//     worker finishes only the row it was on), and the call reports
+//     context.Canceled;
+//   - the row counter agrees with the per-pixel cover counts;
+//   - all workers are joined (no goroutine leaks).
+func FuzzTileScheduling(f *testing.F) {
+	f.Add(uint8(16), uint8(16), uint8(4), uint8(4), uint8(2), uint16(65535))
+	f.Add(uint8(22), uint8(22), uint8(5), uint8(3), uint8(3), uint16(7))
+	f.Add(uint8(1), uint8(40), uint8(0), uint8(0), uint8(8), uint16(0))
+	f.Add(uint8(40), uint8(1), uint8(64), uint8(64), uint8(1), uint16(3))
+	f.Add(uint8(9), uint8(9), uint8(1), uint8(1), uint8(5), uint16(65535))
+	f.Fuzz(func(t *testing.T, w8, h8, tw8, th8, wk8 uint8, cancelAt uint16) {
+		w := int(w8)%40 + 1
+		h := int(h8)%40 + 1
+		tw := int(tw8) % 45 // 0 clamps to 1 in newTileGrid
+		th := int(th8) % 45
+		workers := int(wk8)%8 + 1
+		g := newTileGrid(w, h, tw, th)
+		totalRows := 0
+		for i := 0; i < g.tiles(); i++ {
+			r := g.tile(i)
+			totalRows += r.Y1 - r.Y0
+		}
+		// cancelAt ≥ totalRows means the cancel never fires.
+		threshold := int64(cancelAt)
+
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cover := make([]int32, w*h)
+		var rows int64
+		err := forEachTileRow(ctx, g, workers, func() func(tile tileRect, y int) {
+			return func(tile tileRect, y int) {
+				if atomic.AddInt64(&rows, 1) == threshold {
+					cancel()
+				}
+				for x := tile.X0; x < tile.X1; x++ {
+					atomic.AddInt32(&cover[y*w+x], 1)
+				}
+			}
+		})
+
+		cancelled := threshold > 0 && threshold <= int64(totalRows)
+		if cancelled {
+			if err != context.Canceled {
+				t.Fatalf("cancelled at row %d: err = %v, want context.Canceled", threshold, err)
+			}
+			// Each worker finishes at most the row it had already started
+			// when the cancel landed.
+			if n := atomic.LoadInt64(&rows); n > threshold+int64(workers) {
+				t.Fatalf("%d rows ran with cancel at %d and %d workers (bound %d)",
+					n, threshold, workers, threshold+int64(workers))
+			}
+		} else if err != nil {
+			t.Fatalf("uncancelled run returned %v", err)
+		}
+
+		// Exactly-once per pixel on completed runs; never-twice always.
+		var visitedPixels int64
+		for i, n := range cover {
+			if n > 1 {
+				t.Fatalf("pixel (%d,%d) visited %d times", i%w, i/w, n)
+			}
+			if !cancelled && n != 1 {
+				t.Fatalf("pixel (%d,%d) visited %d times on a completed run", i%w, i/w, n)
+			}
+			visitedPixels += int64(n)
+		}
+
+		// Counter consistency: tile rows are all-or-nothing, and the row
+		// counter equals the number of covered rows (every increment is
+		// followed by that row's full cover before the visitor returns).
+		var rowPixels, coveredRows int64
+		for i := 0; i < g.tiles(); i++ {
+			r := g.tile(i)
+			for y := r.Y0; y < r.Y1; y++ {
+				n := cover[y*w+r.X0]
+				for x := r.X0; x < r.X1; x++ {
+					if cover[y*w+x] != n {
+						t.Fatalf("tile row y=%d of tile %d partially visited", y, i)
+					}
+				}
+				rowPixels += int64(n) * int64(r.X1-r.X0)
+				coveredRows += int64(n)
+			}
+		}
+		if rowPixels != visitedPixels {
+			t.Fatalf("cover totals inconsistent: %d by rows, %d by pixels", rowPixels, visitedPixels)
+		}
+		if n := atomic.LoadInt64(&rows); n != coveredRows {
+			t.Fatalf("row counter %d disagrees with %d covered rows", n, coveredRows)
+		}
+
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if now := runtime.NumGoroutine(); now > before {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, now)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScalingExperimentShape runs a tiny scaling study and checks the
+// structural invariants the smoke gate parses for: one strong and one
+// weak point per worker count, weak sizes growing ∝ √workers, positive
+// timings, anchored speedups, bit-identity, and the JSON field names
+// scripts/scaling_smoke.sh greps.
+func TestScalingExperimentShape(t *testing.T) {
+	r, err := ScalingExperiment(16, []int{1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Strong) != 2 || len(r.Weak) != 2 {
+		t.Fatalf("want 2 strong + 2 weak points, got %d + %d", len(r.Strong), len(r.Weak))
+	}
+	if !r.BitIdentical {
+		t.Fatal("parallel driver not bit-identical to reference")
+	}
+	for i, pt := range r.Strong {
+		if pt.Sec <= 0 || pt.Pixels != 256 || pt.Size != 16 {
+			t.Fatalf("strong[%d] malformed: %+v", i, pt)
+		}
+	}
+	if r.Weak[0].Size != 16 || r.Weak[1].Size != 23 { // round(16·√2)
+		t.Fatalf("weak sizes %d, %d; want 16, 23", r.Weak[0].Size, r.Weak[1].Size)
+	}
+	if r.Strong[0].Speedup != 1 || r.Strong[0].Efficiency != 1 {
+		t.Fatalf("workers=1 strong point must anchor at speedup 1, got %+v", r.Strong[0])
+	}
+	if r.GoMaxProcs < 1 {
+		t.Fatalf("gomaxprocs %d", r.GoMaxProcs)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"gomaxprocs", "serial_sec", "parallel_beats_serial",
+		"best_strong_sec", "strong", "weak", "bit_identical",
+	} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("JSON missing %q (scaling_smoke.sh parses it):\n%s", key, buf.String())
+		}
+	}
+	if !strings.Contains(buf.String(), `"name": "scaling"`) {
+		t.Fatalf("unexpected name field:\n%s", buf.String())
+	}
+}
+
+// TestScalingExperimentRejectsTinyInput mirrors the throughput
+// experiment's guard: the template+search footprint needs room.
+func TestScalingExperimentRejectsTinyInput(t *testing.T) {
+	if _, err := ScalingExperiment(4, nil, 1); err == nil {
+		t.Fatal("size 4 should be rejected")
+	}
+}

@@ -37,7 +37,16 @@ type TrackThroughput struct {
 	NsPerHypothesisRef   float64 `json:"ns_per_hypothesis_reference"`
 	SpeedupVsReference   float64 `json:"speedup_vs_reference"`
 	SpeedupParallel      float64 `json:"speedup_parallel_vs_reference"`
-	BitIdentical         bool    `json:"bit_identical"`
+	// GoMaxProcs records the cores actually available to the run: on a
+	// single-core host the parallel figures cannot beat serial no matter
+	// how the scheduler behaves, so the smoke gates condition on it.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// ParallelEfficiency is per-worker efficiency of the parallel driver
+	// against the serial optimized kernel: (optimized_sec / parallel_sec)
+	// / workers. 1.0 is perfect scaling; the row fan-out this PR replaced
+	// sat well below 1 even at workers=1 (pure scheduling overhead).
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
+	BitIdentical       bool    `json:"bit_identical"`
 }
 
 // TrackThroughputExperiment measures the hoisted tracking kernel against
@@ -54,6 +63,7 @@ func TrackThroughputExperiment(size, workers int, seed int64) (TrackThroughput, 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out.Workers = workers
+	out.GoMaxProcs = runtime.GOMAXPROCS(0)
 
 	p := core.ScaledParams()
 	out.Hypotheses = p.Hypotheses()
@@ -97,6 +107,7 @@ func TrackThroughputExperiment(size, workers int, seed int64) (TrackThroughput, 
 	}
 	if out.ParallelSec > 0 {
 		out.SpeedupParallel = out.ReferenceSec / out.ParallelSec
+		out.ParallelEfficiency = out.OptimizedSec / out.ParallelSec / float64(workers)
 	}
 
 	out.BitIdentical = opt.Flow.Equal(ref.Flow) && opt.Err.Equal(ref.Err) &&

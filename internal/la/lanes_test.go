@@ -1,0 +1,100 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSolveFactored6LanesBitIdentical pins the batched substitution to the
+// scalar one: for random factorable systems and random lane bundles, every
+// lane of SolveFactored6Lanes must bit-equal SolveFactored6 on that lane's
+// right-hand side alone, at every batch width 1..BatchLanes.
+func TestSolveFactored6LanesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		var a Mat6
+		// Normal-equation-shaped systems: AᵀA + a small diagonal, so most
+		// trials factor; the occasional singular draw is skipped below.
+		var rows [8]Vec6
+		for r := range rows {
+			for j := range rows[r] {
+				rows[r][j] = rng.NormFloat64()
+			}
+		}
+		var b0 Vec6
+		for _, row := range rows {
+			AccumulateNormal(&a, &b0, &row, rng.NormFloat64(), math.Abs(rng.NormFloat64())+1e-3)
+		}
+		f, ok := Factor6(&a)
+		if !ok {
+			continue
+		}
+		var bs Vec6Lanes
+		for i := 0; i < 6; i++ {
+			for l := 0; l < BatchLanes; l++ {
+				bs[i][l] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			}
+		}
+		for n := 1; n <= BatchLanes; n++ {
+			work := bs
+			xs := SolveFactored6Lanes(&f, &work, n)
+			for l := 0; l < n; l++ {
+				var bl Vec6
+				for i := 0; i < 6; i++ {
+					bl[i] = bs[i][l]
+				}
+				want := SolveFactored6(&f, &bl)
+				got := xs.Vec(l)
+				for i := 0; i < 6; i++ {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("trial %d, width %d, lane %d, x[%d]: batched %v != scalar %v",
+							trial, n, l, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveFactored6LanesLeavesTail asserts lanes beyond n are untouched
+// outputs (zero) and that a width-n solve ignores their right-hand sides.
+func TestSolveFactored6LanesLeavesTail(t *testing.T) {
+	var a Mat6
+	for k := 0; k < 9; k++ {
+		row := Vec6{1, float64(k), float64(k * k), 1.5, -0.25 * float64(k), 2}
+		var b Vec6
+		AccumulateNormal(&a, &b, &row, float64(k), 1)
+	}
+	f, ok := Factor6(&a)
+	if !ok {
+		t.Skip("fixture system unexpectedly singular")
+	}
+	var bs Vec6Lanes
+	for i := 0; i < 6; i++ {
+		for l := 0; l < BatchLanes; l++ {
+			bs[i][l] = float64(i + 10*l)
+		}
+	}
+	poisoned := bs
+	for i := 0; i < 6; i++ {
+		for l := 3; l < BatchLanes; l++ {
+			poisoned[i][l] = math.NaN()
+		}
+	}
+	clean := bs
+	xsClean := SolveFactored6Lanes(&f, &clean, 3)
+	xsPois := SolveFactored6Lanes(&f, &poisoned, 3)
+	for i := 0; i < 6; i++ {
+		for l := 0; l < 3; l++ {
+			if math.Float64bits(xsClean[i][l]) != math.Float64bits(xsPois[i][l]) {
+				t.Fatalf("lane %d contaminated by tail lanes beyond the batch width", l)
+			}
+		}
+		for l := 3; l < BatchLanes; l++ {
+			if xsClean[i][l] != 0 {
+				t.Fatalf("unsolved lane %d has nonzero output %v", l, xsClean[i][l])
+			}
+		}
+	}
+}

@@ -48,9 +48,10 @@ type Config struct {
 	// Workers bounds how many pairs are tracked concurrently
 	// (0 = GOMAXPROCS). Results are independent of the worker count.
 	Workers int
-	// RowWorkers additionally stripes each pair's rows across goroutines
-	// (core.TrackPreparedParallel); 0 or 1 tracks each pair on a single
-	// goroutine. Useful when sequences are short and pairs large.
+	// RowWorkers additionally spreads each pair's pixels across
+	// goroutines via core.TrackPreparedParallel's work-stealing tile
+	// scheduler; 0 or 1 tracks each pair on a single goroutine. Useful
+	// when sequences are short and pairs large.
 	RowWorkers int
 	// CacheSize caps the prepared-frame LRU (0 = DefaultCacheSize; must
 	// be >= 1). Any capacity >= 1 suffices for each frame to be fitted

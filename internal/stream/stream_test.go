@@ -85,7 +85,7 @@ func TestStreamEquivalenceMatrix(t *testing.T) {
 	}
 }
 
-// TestStreamRowWorkersEquivalence covers the within-pair row-parallel mode
+// TestStreamRowWorkersEquivalence covers the within-pair tile-parallel mode
 // and the continuous model (NSS = 0, nil SemiMap) in one sweep.
 func TestStreamRowWorkersEquivalence(t *testing.T) {
 	const n = 4

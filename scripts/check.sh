@@ -41,6 +41,15 @@ echo "== golden + stream equivalence (-race)"
 go test -race -run 'Golden|Stream|TrackStats|PrepareFrame' \
     ./internal/core ./internal/stream ./internal/sequence || fail=1
 
+# The batch-kernel equivalence wall and tile-scheduler properties
+# (docs/PERFORMANCE.md §6–7): every batch width and tile shape
+# bit-identical to the reference, tolerance mode inside its bound, the
+# work-stealing scheduler leak- and race-free — run by name under the
+# race detector so a -run filter above can never silently drop them.
+echo "== batch kernel + tile scheduler (-race)"
+go test -race -run 'Batch|Tile|Reassoc|BitExact|Lanes' \
+    ./internal/core ./internal/la || fail=1
+
 # The robustness lock (docs/ROBUSTNESS.md): fault injection, degraded-
 # mode counters/bit-identity, pair isolation, and pool drain/TTL races,
 # run by name under the race detector for the same reason as above.
@@ -54,6 +63,12 @@ go test -race -run 'Fault|Degraded|Chaos|Skip|Retry|FrameError|Pool|TTL|Expired|
 # failing on any bitwise divergence or a speedup below 2x.
 echo "== bench smoke"
 sh scripts/bench_smoke.sh || fail=1
+
+# The scaling gate (docs/PERFORMANCE.md §8): strong/weak scaling of the
+# tile-scheduled parallel driver; on hosts with ≥4 cores it also demands
+# parallel beats serial at ≥4 workers.
+echo "== scaling smoke"
+sh scripts/scaling_smoke.sh || fail=1
 
 echo "== stream throughput smoke"
 go run ./cmd/smabench -only stream -size 32 -frames 4 \

@@ -1,0 +1,47 @@
+#!/bin/sh
+# scaling-smoke: the strong/weak scaling gate (docs/PERFORMANCE.md §8).
+# Runs eval.ScalingExperiment via smabench and gates on the JSON it
+# writes:
+#   - every run: bit_identical must be true, and the workers=1 strong
+#     point must stay within SERIAL_SLACK of the serial optimized time
+#     (the tile scheduler's overhead bound — the row fan-out it replaced
+#     lost ~10% here);
+#   - hosts with >= 4 cores additionally: some strong point at >= 4
+#     workers must beat serial (parallel_beats_serial). On fewer cores
+#     that line measures oversubscription, not the scheduler, so it is
+#     reported but not enforced.
+set -eu
+
+SIZE="${SCALING_SMOKE_SIZE:-64}"
+OUT="${SCALING_SMOKE_OUT:-/tmp/BENCH_scaling.json}"
+WORKERS="${SCALING_SMOKE_WORKERS:-1,2,4,8}"
+SERIAL_SLACK="${SCALING_SMOKE_SERIAL_SLACK:-1.25}"
+
+echo "== scaling experiment (strong + weak)"
+go run ./cmd/smabench -only scaling -size "$SIZE" \
+    -scaling-workers "$WORKERS" -scaling-out "$OUT"
+
+awk -v slack="$SERIAL_SLACK" '
+    /"gomaxprocs"/            { gsub(/[,"]/, ""); procs = $2 }
+    /"serial_sec"/            { gsub(/[,"]/, ""); serial = $2 }
+    /"parallel_beats_serial"/ { gsub(/[,"]/, ""); beats = $2 }
+    /"bit_identical"/         { gsub(/[,"]/, ""); bitid = $2 }
+    # The first strong point is workers=1: its "sec" is the scheduler-
+    # overhead probe. Track the first sec seen inside the strong array.
+    /"strong"/                { instrong = 1 }
+    instrong && /"sec"/ && w1 == "" { gsub(/[,"]/, ""); w1 = $2 }
+    END {
+        if (bitid != "true") {
+            printf "scaling-smoke: bit_identical = %s\n", bitid; exit 1
+        }
+        if (serial + 0 > 0 && w1 + 0 > serial * slack) {
+            printf "scaling-smoke: 1-worker tile driver %.3fs exceeds serial %.3fs x %.2f slack\n", \
+                w1, serial, slack; exit 1
+        }
+        if (procs + 0 >= 4 && beats != "true") {
+            printf "scaling-smoke: parallel does not beat serial at >=4 workers on %d cores\n", procs
+            exit 1
+        }
+        printf "scaling-smoke: OK (gomaxprocs %d, serial %.3fs, 1-worker %.3fs, beats-serial %s%s)\n", \
+            procs, serial, w1, beats, (procs + 0 < 4 ? " [not enforced <4 cores]" : "")
+    }' "$OUT"
