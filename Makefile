@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet smavet smavet-baseline race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke scaling-smoke
+.PHONY: all build test check vet smavet smavet-baseline race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke scaling-smoke cluster-smoke
 
 all: build
 
@@ -71,6 +71,14 @@ bench-smoke:
 # parallel beating serial at >= 4 workers (docs/PERFORMANCE.md §8).
 scaling-smoke:
 	sh scripts/scaling_smoke.sh
+
+# cluster-smoke: end-to-end smoke of the distributed job plane — a real
+# coordinator over two worker processes, multi-node load, injected
+# node-fault rounds with exact Expect accounting, a SIGKILL-worker
+# drill, and the process-mode scaling ladder gated on bit-identity and
+# (on >= 4 cores) the widest rung's speedup (docs/CLUSTER.md).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 fmt:
 	gofmt -w .

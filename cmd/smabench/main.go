@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smabench: ")
 	var (
-		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,track,scaling,stream,serve,chaos")
+		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,track,scaling,stream,serve,chaos,cluster")
 		size     = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
 		seed     = flag.Int64("seed", 5, "scene seed for the functional experiments")
 		report   = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
@@ -38,6 +38,12 @@ func main() {
 		trackOut = flag.String("track-out", "BENCH_track.json", "where the track benchmark writes its kernel-throughput trajectory point")
 		scaleOut = flag.String("scaling-out", "BENCH_scaling.json", "where the scaling study writes its strong/weak trajectory point")
 		ladder   = flag.String("scaling-workers", "1,2,4,8", "comma-separated worker ladder for the scaling study")
+
+		clusterOut    = flag.String("cluster-out", "BENCH_cluster.json", "where the cluster experiment writes its distributed-throughput trajectory point")
+		clusterLadder = flag.String("cluster-workers", "1,2,4", "comma-separated worker-node ladder for the cluster experiment")
+		clusterBin    = flag.String("cluster-bin", "", "smaserve binary for process-mode cluster workers (empty = in-process)")
+		clusterJobs   = flag.Int("cluster-jobs", 3, "jobs per cluster rung")
+		clusterFrames = flag.Int("cluster-frames", 17, "frames per cluster job")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -344,6 +350,47 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  wrote %s\n\n", *chaosOut)
+	}
+	if run("cluster") {
+		var counts []int
+		for _, s := range strings.Split(*clusterLadder, ",") {
+			var w int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &w); err != nil || w < 1 {
+				log.Fatalf("bad -cluster-workers entry %q", s)
+			}
+			counts = append(counts, w)
+		}
+		r, err := eval.ClusterScalingExperiment(context.Background(), eval.ClusterScalingOptions{
+			Size:    *size / 2,
+			Frames:  *clusterFrames,
+			Jobs:    *clusterJobs,
+			Workers: counts,
+			Seed:    *seed,
+			Bin:     *clusterBin,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Distributed job plane — coordinator/worker sharding up a node ladder")
+		fmt.Printf("  %d jobs per rung, %d frames at %d×%d, %d pairs/shard, %s workers, %d cores\n",
+			r.Jobs, r.Frames, r.Size, r.Size, r.ShardPairs, r.Mode, r.Cores)
+		for _, rung := range r.Rungs {
+			fmt.Printf("  %2d workers: %.2f jobs/s (%.1f pairs/s)  job p50 %.2fs max %.2fs  retries %d\n",
+				rung.Workers, rung.JobsPerSec, rung.PairsPerSec, rung.JobP50Sec, rung.JobMaxSec, rung.DispatchRetries)
+		}
+		fmt.Printf("  speedup at widest rung: %.2fx   bit-identical to offline tracker: %v\n",
+			r.SpeedupAtMax, r.BitIdentical)
+		f, err := os.Create(*clusterOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n\n", *clusterOut)
 	}
 	if run("ablation") {
 		fmt.Println("Ablation — neighborhood fetch design (§3.2/§4.2), 121×121 template at paper scale")

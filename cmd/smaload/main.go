@@ -9,6 +9,12 @@
 //	smaload -url http://127.0.0.1:8080 -n 64 -c 8
 //	smaload -url http://127.0.0.1:8080 -n 32 -c 8 -size 48 -verify -check-metrics
 //	smaload -url http://127.0.0.1:8080 -bench-out BENCH_serve.json
+//	smaload -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 -n 64 -c 8
+//
+// With -nodes the run fans requests round-robin over several servers
+// (the workers of a cluster, or coordinators) and reports per-node
+// latency percentiles and retry/rejection splits alongside the
+// aggregate.
 //
 // Exit status is non-zero if any request errored or any verified response
 // mismatched; backpressure rejections (429/503) are reported separately
@@ -35,6 +41,7 @@ func main() {
 	log.SetPrefix("smaload: ")
 	var (
 		url          = flag.String("url", "http://127.0.0.1:8080", "smaserve base URL")
+		nodes        = flag.String("nodes", "", "comma-separated base URLs for multi-node mode (overrides -url)")
 		n            = flag.Int("n", 32, "total requests")
 		c            = flag.Int("c", 8, "concurrent clients")
 		scene        = flag.String("scene", "hurricane", "synthetic scene: hurricane|thunderstorm|shear")
@@ -52,10 +59,18 @@ func main() {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
 	}
 
+	var nodeURLs []string
+	for _, u := range strings.Split(*nodes, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			nodeURLs = append(nodeURLs, u)
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	res, err := server.RunLoad(ctx, server.LoadOptions{
 		URL:         strings.TrimRight(*url, "/"),
+		Nodes:       nodeURLs,
 		Requests:    *n,
 		Concurrency: *c,
 		Scene:       *scene,
@@ -78,6 +93,11 @@ func main() {
 	}
 	fmt.Printf("elapsed      %.2fs (%.1f req/s)\n", res.ElapsedSec, res.Throughput)
 	fmt.Printf("latency      p50 %v  p90 %v  p99 %v  max %v\n", res.P50, res.P90, res.P99, res.MaxLatency)
+	for _, nl := range res.PerNode {
+		fmt.Printf("node %-28s %d req (%d ok, %d err, %d retried, %d rejected)  p50 %.1fms  p90 %.1fms  p99 %.1fms  %.1f req/s\n",
+			nl.URL, nl.Requests, nl.Completed, nl.Errors, nl.Retries, nl.Rejected,
+			nl.P50Ms, nl.P90Ms, nl.P99Ms, nl.Throughput)
+	}
 	for _, e := range res.ErrorSample {
 		fmt.Printf("error sample %s\n", e)
 	}

@@ -8,6 +8,15 @@
 //	smaserve -addr :8080
 //	smaserve -addr 127.0.0.1:0 -port-file /tmp/smaserve.port -workers 4
 //
+// The same binary also runs the distributed job plane (docs/CLUSTER.md):
+//
+//	smaserve -worker -addr :8081                 # worker: full API + shard endpoint
+//	smaserve -coordinator -worker-urls http://h1:8081,http://h2:8081
+//
+// A coordinator accepts the identical /v1/jobs API, splits each job into
+// contiguous pair-range shards, dispatches them to the workers, and
+// merges the per-pair streams bit-identically to a single node.
+//
 // The server drains gracefully on SIGINT/SIGTERM: readiness flips to 503,
 // listeners close, queued and in-flight tracking work runs to completion
 // (bounded by -drain-timeout), then the process exits 0. See
@@ -25,9 +34,11 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sma/internal/cluster"
 	"sma/internal/server"
 )
 
@@ -45,25 +56,81 @@ func main() {
 		resultTTL    = flag.Duration("result-ttl", 0, "how long finished results stay retrievable (0 = 15m)")
 		maxFrames    = flag.Int("max-frames", 0, "job sequence length cap (0 = 512)")
 		maxPixels    = flag.Int("max-pixels", 0, "frame area cap in pixels (0 = 2048²)")
+		rowWorkers   = flag.Int("row-workers", 0, "per-pair row parallelism (0 = GOMAXPROCS; pin to 1 for scaling studies)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain bound")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
+
+		coordinator    = flag.Bool("coordinator", false, "run as a cluster coordinator (requires -worker-urls)")
+		workerMode     = flag.Bool("worker", false, "run as a cluster worker: full API plus the internal shard endpoint")
+		workerURLs     = flag.String("worker-urls", "", "comma-separated worker base URLs for -coordinator")
+		shardPairs     = flag.Int("shard-pairs", 0, "pairs per shard when sharding jobs (0 = 8)")
+		healthInterval = flag.Duration("health-interval", 0, "worker heartbeat probe interval (0 = 1s)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		log.Fatalf("unexpected arguments: %v", flag.Args())
 	}
+	if *coordinator && *workerMode {
+		log.Fatalf("-coordinator and -worker are mutually exclusive")
+	}
 
-	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		MaxBodyBytes: *maxBody,
-		TrackTimeout: *trackTimeout,
-		JobTimeout:   *jobTimeout,
-		ResultTTL:    *resultTTL,
-		MaxFrames:    *maxFrames,
-		MaxPixels:    *maxPixels,
-		Logf:         log.Printf,
-	})
+	var (
+		handler  http.Handler
+		shutdown func(context.Context) error
+	)
+	if *coordinator {
+		urls := splitURLs(*workerURLs)
+		if len(urls) == 0 {
+			log.Fatalf("-coordinator needs -worker-urls")
+		}
+		co, err := cluster.New(cluster.Config{
+			Workers:        urls,
+			ShardPairs:     *shardPairs,
+			JobTimeout:     *jobTimeout,
+			ResultTTL:      *resultTTL,
+			MaxFrames:      *maxFrames,
+			MaxPixels:      *maxPixels,
+			HealthInterval: *healthInterval,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("coordinator: %v", err)
+		}
+		coCtx, coCancel := context.WithCancel(context.Background())
+		defer coCancel()
+		co.Start(coCtx)
+		log.Printf("coordinator over %d workers: %s", len(urls), strings.Join(urls, ", "))
+		handler = co.Handler()
+		shutdown = co.Shutdown
+	} else {
+		srv := server.New(server.Config{
+			Workers:      *workers,
+			QueueDepth:   *queueDepth,
+			MaxBodyBytes: *maxBody,
+			TrackTimeout: *trackTimeout,
+			JobTimeout:   *jobTimeout,
+			ResultTTL:    *resultTTL,
+			MaxFrames:    *maxFrames,
+			MaxPixels:    *maxPixels,
+			RowWorkers:   *rowWorkers,
+			Logf:         log.Printf,
+		})
+		handler = srv.Handler()
+		shutdown = srv.Shutdown
+		if *workerMode {
+			wk := cluster.NewWorker(cluster.WorkerConfig{
+				Concurrency: *workers,
+				RowWorkers:  *rowWorkers,
+				MaxPixels:   *maxPixels,
+				Logf:        log.Printf,
+			})
+			mux := http.NewServeMux()
+			mux.Handle("POST "+cluster.ShardPath, wk)
+			mux.Handle("/", handler)
+			handler = mux
+			log.Printf("worker mode: shard endpoint mounted at %s", cluster.ShardPath)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -97,7 +164,7 @@ func main() {
 	}
 
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	serveErr := make(chan error, 1)
@@ -117,7 +184,7 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := shutdown(ctx); err != nil {
 		log.Printf("drain exceeded %v; in-flight work aborted: %v", *drainTimeout, err)
 		os.Exit(1)
 	}
@@ -125,4 +192,17 @@ func main() {
 		log.Printf("serve: %v", err)
 	}
 	log.Printf("drained; bye")
+}
+
+// splitURLs parses a comma-separated URL list, trimming blanks and
+// trailing slashes.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRunChaos drives the full cluster chaos drill — clean reference,
+// injected dead-node/flaky-shard rounds with exact Expect assertions,
+// and a real kill round (the worker's listener closed, which is what a
+// SIGKILLed process looks like from the coordinator) — against an
+// in-process 3-worker cluster, and requires zero violations.
+func TestRunChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drill runs many jobs")
+	}
+	workers := []*httptest.Server{testWorkerNode(t), testWorkerNode(t), testWorkerNode(t)}
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		urls[i] = w.URL
+	}
+	_, cts := testCoordinator(t, urls, 2)
+
+	const victim = 2
+	res, err := RunChaos(context.Background(), ChaosOptions{
+		URL:    cts.URL,
+		Size:   32,
+		Frames: 9,
+		Rounds: 2,
+		KillWorker: func() (int, error) {
+			workers[victim].CloseClientConnections()
+			workers[victim].Close()
+			return victim, nil
+		},
+		PollInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.KilledNode != victim {
+		t.Fatalf("killed node %d, want %d", res.KilledNode, victim)
+	}
+	if res.Workers != 3 || res.Shards != 4 {
+		t.Fatalf("topology %d workers / %d shards, want 3/4", res.Workers, res.Shards)
+	}
+	// 2 injected rounds + 1 kill round, 8 pairs each, all bit-verified.
+	if res.PairsVerified != 3*8 {
+		t.Fatalf("verified %d pairs, want %d", res.PairsVerified, 3*8)
+	}
+	if res.DispatchRetries == 0 || res.Reassigned == 0 || res.NodesLost == 0 {
+		t.Fatalf("fault rounds produced no accounting: %+v", res)
+	}
+}

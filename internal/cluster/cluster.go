@@ -1,0 +1,125 @@
+// Package cluster is the distributed job plane of smaserve: a
+// coordinator that accepts the existing /v1/jobs API unchanged, shards a
+// multi-frame tracking job into contiguous pair ranges, dispatches the
+// shards to N smaserve worker processes over HTTP (SMF1 motion fields
+// streamed between nodes in the SMP1 pair-record framing), and merges
+// the per-pair results in order — byte-identical to what a single
+// smaserve would have produced for the same job.
+//
+// This is the modern analog of the paper's 2-D hierarchical data folding
+// onto a 16K-PE array, applied one level up: instead of folding pixels
+// onto processor elements, the coordinator folds frame pairs onto worker
+// nodes. Shards are contiguous pair ranges placed by affinity (shard k
+// homes on node k mod W), so consecutive pairs land on the node whose
+// prepared-surface LRU already holds the shared frame — each interior
+// frame is fitted once per node, and only shard-boundary frames are
+// fitted twice cluster-wide.
+//
+// Fault tolerance reuses internal/fault's exact-accounting contract at
+// the node level: a fault.ClusterPlan drives dead-node and flaky-shard
+// injection at deterministic dispatch points, and the coordinator's
+// placement loop mirrors ClusterPlan.Expect hop for hop, so chaos drills
+// assert reassignment and retry counters exactly. A genuinely killed
+// worker (SIGKILL) takes the same path via the health registry: its
+// shards are reassigned cyclically to the next alive node and the job
+// completes degraded-never-wrong. See docs/CLUSTER.md.
+package cluster
+
+import (
+	"fmt"
+
+	"sma/internal/fault"
+	"sma/internal/server"
+)
+
+// ShardRequest is the body of POST /internal/v1/shard: one contiguous
+// pair range of a coordinator job. The worker renders frames
+// [PairLo, PairHi] from the synthetic reference (a shard covering pairs
+// [lo, hi) needs frames lo..hi inclusive) and streams back SMP1 records
+// carrying global pair indices, closed by a stream.Stats JSON trailer.
+type ShardRequest struct {
+	JobID     string              `json:"job_id"`
+	Shard     int                 `json:"shard"`
+	Synthetic server.SyntheticRef `json:"synthetic"`
+	Params    server.ParamsSpec   `json:"params"`
+	Robust    bool                `json:"robust,omitempty"`
+	// PairLo/PairHi bound the shard's global pair range [PairLo, PairHi).
+	PairLo int `json:"pair_lo"`
+	PairHi int `json:"pair_hi"`
+}
+
+// Validate rejects malformed shard ranges before any frame is rendered.
+func (r ShardRequest) Validate() error {
+	if r.PairLo < 0 || r.PairHi <= r.PairLo {
+		return fmt.Errorf("cluster: empty shard pair range [%d, %d)", r.PairLo, r.PairHi)
+	}
+	return nil
+}
+
+// Frames returns how many frames the shard consumes.
+func (r ShardRequest) Frames() int { return r.PairHi - r.PairLo + 1 }
+
+// FaultSpec is the wire form of a node-level fault plan, the knob
+// cluster chaos drills turn. It maps 1:1 onto fault.ClusterPlan so the
+// driver computes expectations from the identical schedule the
+// coordinator injects.
+type FaultSpec struct {
+	Seed      int64       `json:"seed"`
+	DeadNodes []int       `json:"dead_nodes,omitempty"`
+	Flaky     []FlakySpec `json:"flaky,omitempty"`
+}
+
+// FlakySpec makes one shard's dispatch fail transiently.
+type FlakySpec struct {
+	Shard    int `json:"shard"`
+	Attempts int `json:"attempts"`
+}
+
+// Plan materializes the spec.
+func (s *FaultSpec) Plan() *fault.ClusterPlan {
+	if s == nil {
+		return nil
+	}
+	flaky := make([]fault.ShardFlake, 0, len(s.Flaky))
+	for _, f := range s.Flaky {
+		a := f.Attempts
+		if a <= 0 {
+			a = 1
+		}
+		flaky = append(flaky, fault.ShardFlake{Shard: f.Shard, Attempts: a})
+	}
+	return fault.NewClusterPlan(s.Seed, append([]int(nil), s.DeadNodes...), flaky...)
+}
+
+// JobRequest is the coordinator's job creation body: the single-node
+// JobRequest plus an optional node-level fault plan. Frame-level fault
+// specs are rejected on cluster jobs — a frame fault at a shard boundary
+// would be observed by two shards and break the exact single-plan
+// accounting, so chaos at the cluster tier is node-level only.
+type JobRequest struct {
+	server.JobRequest
+	ClusterFault *FaultSpec `json:"cluster_fault,omitempty"`
+}
+
+// shardRange is one contiguous pair range [Lo, Hi).
+type shardRange struct {
+	Lo, Hi int
+}
+
+// makeShards cuts P pairs into ceil(P/size) contiguous ranges. The last
+// shard absorbs the remainder, so every shard but the last has exactly
+// `size` pairs — the placement arithmetic chaos expectations rely on.
+func makeShards(pairs, size int) []shardRange {
+	if size <= 0 {
+		size = 8
+	}
+	var out []shardRange
+	for lo := 0; lo < pairs; lo += size {
+		hi := lo + size
+		if hi > pairs {
+			hi = pairs
+		}
+		out = append(out, shardRange{Lo: lo, Hi: hi})
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestClusterScalingExperiment runs a tiny in-process ladder and checks
+// the invariants BENCH_cluster.json consumers rely on: one rung per
+// worker count, positive throughput, and bit-identity to the offline
+// tracker.
+func TestClusterScalingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins multi-node clusters")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	r, err := ClusterScalingExperiment(ctx, ClusterScalingOptions{
+		Size:    24,
+		Frames:  5,
+		Jobs:    1,
+		Workers: []int{1, 2},
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatalf("ClusterScalingExperiment: %v", err)
+	}
+	if !r.BitIdentical {
+		t.Fatal("cluster rungs not bit-identical to the offline tracker")
+	}
+	if len(r.Rungs) != 2 {
+		t.Fatalf("%d rungs, want 2", len(r.Rungs))
+	}
+	for _, rung := range r.Rungs {
+		if rung.JobsPerSec <= 0 || rung.PairsPerSec <= 0 {
+			t.Fatalf("rung %d reports no throughput: %+v", rung.Workers, rung)
+		}
+		if rung.DispatchRetries != 0 {
+			t.Fatalf("clean rung %d saw %d dispatch retries", rung.Workers, rung.DispatchRetries)
+		}
+	}
+	if r.SpeedupAtMax <= 0 {
+		t.Fatalf("speedup %v", r.SpeedupAtMax)
+	}
+}

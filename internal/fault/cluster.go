@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Node-level fault plans extend the package's exact-accounting contract
+// to the cluster: where Plan schedules what goes wrong with frames,
+// ClusterPlan schedules what goes wrong with worker nodes and shard
+// dispatches. The coordinator consults the plan at deterministic points
+// (shard k, dispatch attempt a, node w), so the same plan replayed over
+// the same shard count produces identical reassignment and retry
+// counters — Expect simulates the coordinator's own placement algorithm
+// and is the single source of truth chaos drills assert against.
+//
+// Two fault shapes keep the accounting timing-independent:
+//
+//   - DeadNodes are dead on arrival: every dispatch to them fails
+//     immediately, whenever it happens. (A mid-run kill would make the
+//     set of affected shards depend on dispatch timing; the chaos
+//     harness covers that case with bounded, not exact, assertions.)
+//   - Flaky shards fail transiently by shard index, not by node or
+//     wall-clock, so the retry count is exact regardless of which node
+//     the shard lands on or how dispatches interleave.
+type ClusterPlan struct {
+	// Seed labels the plan (and feeds RandomClusterPlan).
+	Seed int64
+	// DeadNodes are worker indices that refuse every dispatch.
+	DeadNodes []int
+	// Flaky schedules transient dispatch failures per shard.
+	Flaky []ShardFlake
+}
+
+// ShardFlake makes shard Shard's dispatch fail transiently Attempts
+// times (simulating a connection cut mid-stream) before succeeding on
+// whatever node holds it.
+type ShardFlake struct {
+	Shard    int
+	Attempts int
+}
+
+// NewClusterPlan builds an explicit plan.
+func NewClusterPlan(seed int64, deadNodes []int, flaky ...ShardFlake) *ClusterPlan {
+	return &ClusterPlan{Seed: seed, DeadNodes: deadNodes, Flaky: flaky}
+}
+
+// RandomClusterConfig sizes RandomClusterPlan.
+type RandomClusterConfig struct {
+	DeadNodes   int // nodes dead on arrival (capped at nodes-1: someone must survive)
+	FlakyShards int // shards whose dispatch flakes once
+}
+
+// RandomClusterPlan draws a node/shard schedule deterministically from
+// the seed: which nodes are dead and which shards flake is fixed by
+// (seed, shards, nodes, cfg).
+func RandomClusterPlan(seed int64, shards, nodes int, cfg RandomClusterConfig) *ClusterPlan {
+	rng := rand.New(rand.NewSource(seed))
+	dead := cfg.DeadNodes
+	if dead >= nodes {
+		dead = nodes - 1
+	}
+	if dead < 0 {
+		dead = 0
+	}
+	p := &ClusterPlan{Seed: seed}
+	for _, w := range rng.Perm(nodes)[:dead] {
+		p.DeadNodes = append(p.DeadNodes, w)
+	}
+	sort.Ints(p.DeadNodes)
+	flaky := cfg.FlakyShards
+	if flaky > shards {
+		flaky = shards
+	}
+	var shardPerm []int
+	if flaky > 0 {
+		shardPerm = rng.Perm(shards)[:flaky]
+		sort.Ints(shardPerm)
+	}
+	for _, s := range shardPerm {
+		p.Flaky = append(p.Flaky, ShardFlake{Shard: s, Attempts: 1})
+	}
+	return p
+}
+
+// NodeDead reports whether the plan kills node w.
+func (p *ClusterPlan) NodeDead(w int) bool {
+	if p == nil {
+		return false
+	}
+	for _, d := range p.DeadNodes {
+		if d == w {
+			return true
+		}
+	}
+	return false
+}
+
+// FlakeAttempts returns how many transient failures shard s must absorb.
+func (p *ClusterPlan) FlakeAttempts(s int) int {
+	if p == nil {
+		return 0
+	}
+	for _, f := range p.Flaky {
+		if f.Shard == s {
+			return f.Attempts
+		}
+	}
+	return 0
+}
+
+// Validate rejects plans no coordinator run could complete or account.
+func (p *ClusterPlan) Validate(nodes int) error {
+	alive := nodes
+	for _, d := range p.DeadNodes {
+		if d < 0 || d >= nodes {
+			return fmt.Errorf("fault: dead node %d out of range [0,%d)", d, nodes)
+		}
+		alive--
+	}
+	if alive <= 0 {
+		return fmt.Errorf("fault: plan kills all %d nodes; nothing left to complete the job", nodes)
+	}
+	for _, f := range p.Flaky {
+		if f.Shard < 0 {
+			return fmt.Errorf("fault: flaky shard %d out of range", f.Shard)
+		}
+		if f.Attempts < 0 {
+			return fmt.Errorf("fault: flaky shard %d has negative attempts", f.Shard)
+		}
+	}
+	return nil
+}
+
+// ClusterExpectation predicts the coordinator counters a run over this
+// plan must report exactly.
+type ClusterExpectation struct {
+	// DispatchRetries counts failed dispatch attempts of any kind: hops
+	// over dead nodes plus transient shard flakes.
+	DispatchRetries int64
+	// Reassigned counts shards that completed on a different node than
+	// their affinity placement (shard k on node k mod W).
+	Reassigned int64
+	// NodesLost counts distinct dead nodes that at least one shard
+	// placement touched.
+	NodesLost int64
+	// Placement is the node each shard finally completes on.
+	Placement []int
+}
+
+// Expect simulates the coordinator's placement algorithm — affinity
+// placement shard k → node k mod nodes, cyclic walk to the next alive
+// node on a dead dispatch, same-node retry on a transient flake — for a
+// job of `shards` shards over `nodes` workers.
+func (p *ClusterPlan) Expect(shards, nodes int) ClusterExpectation {
+	var e ClusterExpectation
+	lost := make(map[int]bool)
+	for k := 0; k < shards; k++ {
+		home := k % nodes
+		node := home
+		for hop := 0; hop < nodes; hop++ {
+			if p.NodeDead(node) {
+				e.DispatchRetries++
+				lost[node] = true
+				node = (node + 1) % nodes
+				continue
+			}
+			break
+		}
+		e.DispatchRetries += int64(p.FlakeAttempts(k))
+		if node != home {
+			e.Reassigned++
+		}
+		e.Placement = append(e.Placement, node)
+	}
+	e.NodesLost = int64(len(lost))
+	return e
+}

@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClusterExpectCleanPlan(t *testing.T) {
+	p := NewClusterPlan(1, nil)
+	e := p.Expect(6, 4)
+	if e.DispatchRetries != 0 || e.Reassigned != 0 || e.NodesLost != 0 {
+		t.Fatalf("clean plan expects %+v, want zeros", e)
+	}
+	// Affinity placement: shard k on node k mod 4.
+	if want := []int{0, 1, 2, 3, 0, 1}; !reflect.DeepEqual(e.Placement, want) {
+		t.Fatalf("placement %v, want %v", e.Placement, want)
+	}
+}
+
+func TestClusterExpectDeadNode(t *testing.T) {
+	p := NewClusterPlan(1, []int{1})
+	e := p.Expect(6, 3)
+	// Shards 1 and 4 are homed on dead node 1 and walk to node 2: one
+	// dead hop and one reassignment each.
+	if e.DispatchRetries != 2 || e.Reassigned != 2 || e.NodesLost != 1 {
+		t.Fatalf("dead-node expectation %+v, want 2 retries, 2 reassigned, 1 lost", e)
+	}
+	if want := []int{0, 2, 2, 0, 2, 2}; !reflect.DeepEqual(e.Placement, want) {
+		t.Fatalf("placement %v, want %v", e.Placement, want)
+	}
+}
+
+func TestClusterExpectAdjacentDeadNodes(t *testing.T) {
+	p := NewClusterPlan(1, []int{0, 1})
+	e := p.Expect(4, 3)
+	// Shard 0: hops 0→1→2 (2 retries); shard 1: hop 1→2 (1); shard 2:
+	// home alive; shard 3: hops 0→1→2 (2). Total 5 retries, 3 reassigned.
+	if e.DispatchRetries != 5 || e.Reassigned != 3 || e.NodesLost != 2 {
+		t.Fatalf("adjacent-dead expectation %+v, want 5 retries, 3 reassigned, 2 lost", e)
+	}
+	if want := []int{2, 2, 2, 2}; !reflect.DeepEqual(e.Placement, want) {
+		t.Fatalf("placement %v, want %v", e.Placement, want)
+	}
+}
+
+func TestClusterExpectFlakes(t *testing.T) {
+	p := NewClusterPlan(1, nil, ShardFlake{Shard: 2, Attempts: 2}, ShardFlake{Shard: 0, Attempts: 1})
+	e := p.Expect(4, 2)
+	if e.DispatchRetries != 3 || e.Reassigned != 0 || e.NodesLost != 0 {
+		t.Fatalf("flaky expectation %+v, want 3 retries only", e)
+	}
+}
+
+func TestClusterPlanValidate(t *testing.T) {
+	if err := NewClusterPlan(1, []int{0, 1}).Validate(2); err == nil {
+		t.Fatal("plan killing every node validated")
+	}
+	if err := NewClusterPlan(1, []int{5}).Validate(2); err == nil {
+		t.Fatal("out-of-range dead node validated")
+	}
+	if err := NewClusterPlan(1, []int{1}, ShardFlake{Shard: 0, Attempts: 1}).Validate(2); err != nil {
+		t.Fatalf("sound plan rejected: %v", err)
+	}
+}
+
+func TestRandomClusterPlanDeterministic(t *testing.T) {
+	a := RandomClusterPlan(7, 8, 4, RandomClusterConfig{DeadNodes: 1, FlakyShards: 2})
+	b := RandomClusterPlan(7, 8, 4, RandomClusterConfig{DeadNodes: 1, FlakyShards: 2})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed drew different plans: %+v vs %+v", a, b)
+	}
+	if len(a.DeadNodes) != 1 || len(a.Flaky) != 2 {
+		t.Fatalf("plan %+v does not honor the configured counts", a)
+	}
+	if err := a.Validate(4); err != nil {
+		t.Fatalf("random plan invalid: %v", err)
+	}
+	// A survivor is always left even when the config over-asks.
+	over := RandomClusterPlan(7, 4, 3, RandomClusterConfig{DeadNodes: 5})
+	if len(over.DeadNodes) != 2 {
+		t.Fatalf("over-asked plan kills %d of 3 nodes, want 2", len(over.DeadNodes))
+	}
+	if err := over.Validate(3); err != nil {
+		t.Fatalf("capped plan invalid: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -37,6 +38,12 @@ type JobRequest struct {
 	Params    ParamsSpec    `json:"params"`
 	Robust    bool          `json:"robust,omitempty"`
 	Fault     *FaultSpec    `json:"fault,omitempty"`
+	// Retain keeps each surviving pair's SMF1-encoded motion field so the
+	// finished job can be streamed back from GET /v1/jobs/{id}/result —
+	// the surface the cluster merges shards through and the bit-identity
+	// checks compare against. Off by default: retention is charged against
+	// the result store's byte cap.
+	Retain bool `json:"retain,omitempty"`
 }
 
 // trackInput is a parsed track request, whichever wire form it arrived in.
@@ -305,6 +312,10 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	// (DELETE /v1/jobs/{id} is the cancellation surface).
 	jobCtx, jobCancel := context.WithCancel(context.WithoutCancel(r.Context()))
 	job := &Job{ID: id, status: JobQueued, created: time.Now(), frames: frames, cancel: jobCancel}
+	if req.Retain {
+		job.retain = true
+		job.fields = make([][]byte, frames-1)
+	}
 	opt := core.Options{Robust: req.Robust}
 
 	submitErr := s.pool.Submit(func(poolCtx context.Context) {
@@ -319,7 +330,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusInternalServerError, submitErr.Error())
 		return
 	}
-	s.store.put(id, job)
+	s.store.Put(id, job)
 	s.metrics.JobTransition("created")
 	w.Header().Set("Location", "/v1/jobs/"+id)
 	w.Header().Set("Content-Type", "application/json")
@@ -377,8 +388,19 @@ func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.So
 			job.mu.Unlock()
 		},
 	}, func(pair int, res *core.Result) error {
+		var smf []byte
+		if job.retain {
+			var buf bytes.Buffer
+			if err := NewMotionField("", res).WriteBinary(&buf); err != nil {
+				return err
+			}
+			smf = buf.Bytes()
+		}
 		job.mu.Lock()
 		job.pairs = append(job.pairs, PairSummary{Pair: pair, Status: PairOK, MeanMag: res.Flow.MeanMagnitude()})
+		if smf != nil && pair >= 0 && pair < len(job.fields) {
+			job.fields[pair] = smf
+		}
 		job.mu.Unlock()
 		return nil
 	})
@@ -411,7 +433,7 @@ func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.So
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.store.get(r.PathValue("id"))
+	v, ok := s.store.Get(r.PathValue("id"))
 	job, isJob := v.(*Job)
 	if !ok || !isJob {
 		s.httpError(w, http.StatusNotFound, "unknown or expired job id")
@@ -423,8 +445,41 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJobResult streams a finished job's merged motion fields in the
+// SMP1 pair-record framing. Only jobs created with retain carry their
+// fields; the stream is chunked (no Content-Length) so arbitrarily long
+// sequences never buffer server-side.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.store.Get(r.PathValue("id"))
+	job, isJob := v.(*Job)
+	if !ok || !isJob {
+		s.httpError(w, http.StatusNotFound, "unknown or expired job id")
+		return
+	}
+	job.mu.Lock()
+	status := job.status
+	retain := job.retain
+	fields := make([][]byte, len(job.fields))
+	copy(fields, job.fields)
+	dropped := append([]PairSummary(nil), job.pairs...)
+	job.mu.Unlock()
+	if !retain {
+		s.httpError(w, http.StatusConflict, "job was not created with retain; no result stream kept")
+		return
+	}
+	if status != JobDone && status != JobFailed {
+		s.httpError(w, http.StatusConflict, fmt.Sprintf("job is %s; result stream available once finished", status))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := WritePairStream(w, fields, dropped); err != nil {
+		// Headers are gone; all we can do is log and cut the connection.
+		s.cfg.Logf("smaserve: streaming job result %s: %v", job.ID, err)
+	}
+}
+
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.store.get(r.PathValue("id"))
+	v, ok := s.store.Get(r.PathValue("id"))
 	job, isJob := v.(*Job)
 	if !ok || !isJob {
 		s.httpError(w, http.StatusNotFound, "unknown or expired job id")

@@ -22,6 +22,11 @@ import (
 type LoadOptions struct {
 	// URL is the server base, e.g. http://127.0.0.1:8080.
 	URL string
+	// Nodes, when non-empty, fans requests over multiple server base URLs
+	// round-robin by request index (multi-node mode: workers of a cluster,
+	// or a coordinator fronting them). URL is ignored when set, and the
+	// result carries per-node latency and retry/rejection splits.
+	Nodes []string
 	// Requests is the total request count (default 32).
 	Requests int
 	// Concurrency is how many clients issue requests at once (default 8).
@@ -92,6 +97,24 @@ type LoadResult struct {
 	P99Ms       float64       `json:"p99_ms"`
 	MaxMs       float64       `json:"max_ms"`
 	ErrorSample []string      `json:"error_sample,omitempty"`
+	// PerNode splits the run by target node in multi-node mode (one entry
+	// per LoadOptions.Nodes URL, same order).
+	PerNode []NodeLoad `json:"per_node,omitempty"`
+}
+
+// NodeLoad is one node's slice of a multi-node load run.
+type NodeLoad struct {
+	URL        string  `json:"url"`
+	Requests   int     `json:"requests"`
+	Completed  int     `json:"completed"`
+	Errors     int     `json:"errors"`
+	Retries    int     `json:"retries"`
+	Rejected   int     `json:"rejected"`
+	Throughput float64 `json:"requests_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P90Ms      float64 `json:"p90_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
 }
 
 // BuildTrackRequest renders the synthetic pair as PGM uploads and returns
@@ -194,6 +217,17 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 		}
 	}
 
+	targets := opt.Nodes
+	if len(targets) == 0 {
+		targets = []string{opt.URL}
+	}
+	type nodeStats struct {
+		latencies []time.Duration
+		requests  int
+		errors    int
+		retries   int
+		rejected  int
+	}
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -201,25 +235,31 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 		retries   int
 		rejected  int
 		mismatch  int
+		perNode   = make([]nodeStats, len(targets))
 	)
-	record := func(d time.Duration, rej bool, errMsg string, mm bool) {
+	record := func(node int, d time.Duration, rej bool, errMsg string, mm bool) {
 		mu.Lock()
 		defer mu.Unlock()
+		perNode[node].requests++
 		switch {
 		case rej:
 			rejected++
+			perNode[node].rejected++
 		case errMsg != "":
 			errs = append(errs, errMsg)
+			perNode[node].errors++
 		default:
 			latencies = append(latencies, d)
+			perNode[node].latencies = append(perNode[node].latencies, d)
 			if mm {
 				mismatch++
 			}
 		}
 	}
-	recordRetry := func() {
+	recordRetry := func(node int) {
 		mu.Lock()
 		retries++
+		perNode[node].retries++
 		mu.Unlock()
 	}
 
@@ -233,37 +273,38 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadResult, error) {
 			// Per-worker jitter source, seeded from the run seed so load
 			// runs reproduce while workers still decorrelate.
 			rng := rand.New(rand.NewSource(opt.Seed + int64(worker+1)*0x9e3779b9))
-			for range work {
+			for i := range work {
+				node := i % len(targets)
 				t0 := time.Now()
 				// Backpressure rejections are retried after Retry-After,
 				// like a well-behaved client; each retry is counted separately
 				// from the request's terminal outcome.
 				for {
-					req, err := http.NewRequestWithContext(ctx, http.MethodPost, opt.URL+"/v1/track", bytes.NewReader(body))
+					req, err := http.NewRequestWithContext(ctx, http.MethodPost, targets[node]+"/v1/track", bytes.NewReader(body))
 					if err != nil {
-						record(0, false, err.Error(), false)
+						record(node, 0, false, err.Error(), false)
 						break
 					}
 					req.Header.Set("Content-Type", contentType)
 					resp, err := opt.Client.Do(req)
 					if err != nil {
-						record(0, false, err.Error(), false)
+						record(node, 0, false, err.Error(), false)
 						break
 					}
 					rej, errMsg, mm := consumeTrackResponse(resp, want)
 					if rej {
 						select {
 						case <-time.After(retryDelay(resp, rng)):
-							recordRetry()
+							recordRetry(node)
 							continue
 						case <-ctx.Done():
 							// Gave up while still being pushed back: this
 							// request really was rejected.
-							record(0, true, "", false)
+							record(node, 0, true, "", false)
 						}
 						break
 					}
-					record(time.Since(t0), false, errMsg, mm)
+					record(node, time.Since(t0), false, errMsg, mm)
 					break
 				}
 			}
@@ -313,6 +354,31 @@ feed:
 		res.P90Ms = float64(res.P90) / float64(time.Millisecond)
 		res.P99Ms = float64(res.P99) / float64(time.Millisecond)
 		res.MaxMs = float64(res.MaxLatency) / float64(time.Millisecond)
+	}
+	if len(opt.Nodes) > 0 {
+		for i, ns := range perNode {
+			nl := NodeLoad{
+				URL:       targets[i],
+				Requests:  ns.requests,
+				Completed: len(ns.latencies),
+				Errors:    ns.errors,
+				Retries:   ns.retries,
+				Rejected:  ns.rejected,
+			}
+			if elapsed > 0 {
+				nl.Throughput = float64(len(ns.latencies)) / elapsed.Seconds()
+			}
+			if len(ns.latencies) > 0 {
+				sort.Slice(ns.latencies, func(a, b int) bool { return ns.latencies[a] < ns.latencies[b] })
+				npct := func(p float64) float64 {
+					idx := int(p * float64(len(ns.latencies)-1))
+					return float64(ns.latencies[idx]) / float64(time.Millisecond)
+				}
+				nl.P50Ms, nl.P90Ms, nl.P99Ms = npct(0.50), npct(0.90), npct(0.99)
+				nl.MaxMs = float64(ns.latencies[len(ns.latencies)-1]) / float64(time.Millisecond)
+			}
+			res.PerNode = append(res.PerNode, nl)
+		}
 	}
 	if ctx.Err() != nil {
 		return res, ctx.Err()

@@ -94,23 +94,23 @@ func TestPoolGracefulDrain(t *testing.T) {
 // lookup-and-cancel — the DELETE /v1/jobs/{id} path racing expiry. The
 // race detector is the assertion.
 func TestStoreTTLRacesCancel(t *testing.T) {
-	st := newTTLStore(2*time.Millisecond, func(int) {})
-	defer st.close()
+	st := NewMemStore(MemStoreConfig{TTL: 2 * time.Millisecond, OnEvict: func(int) {}})
+	defer st.Close()
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		id := fmt.Sprintf("job-%d", i)
 		_, cancel := context.WithCancel(context.Background())
-		st.put(id, &Job{ID: id, status: JobRunning, cancel: cancel})
+		st.Put(id, &Job{ID: id, status: JobRunning, cancel: cancel})
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 50; j++ {
-				if v, ok := st.get(id); ok {
+				if v, ok := st.Get(id); ok {
 					v.(*Job).Cancel()
 				} else {
 					// Expired mid-loop: re-insert so the race keeps running.
 					_, cancel := context.WithCancel(context.Background())
-					st.put(id, &Job{ID: id, status: JobRunning, cancel: cancel})
+					st.Put(id, &Job{ID: id, status: JobRunning, cancel: cancel})
 				}
 				time.Sleep(100 * time.Microsecond)
 			}
@@ -129,18 +129,18 @@ func TestStoreTTLRacesCancel(t *testing.T) {
 // TestStoreExpiredJobGone: once the TTL passes, the job is invisible to
 // lookups (the handler's 404) even before a sweep runs.
 func TestStoreExpiredJobGone(t *testing.T) {
-	st := newTTLStore(5*time.Millisecond, nil)
-	defer st.close()
-	st.put("a", &Job{ID: "a"})
-	if _, ok := st.get("a"); !ok {
+	st := NewMemStore(MemStoreConfig{TTL: 5 * time.Millisecond})
+	defer st.Close()
+	st.Put("a", &Job{ID: "a"})
+	if _, ok := st.Get("a"); !ok {
 		t.Fatal("fresh entry missing")
 	}
 	time.Sleep(10 * time.Millisecond)
-	if _, ok := st.get("a"); ok {
+	if _, ok := st.Get("a"); ok {
 		t.Fatal("expired entry still retrievable")
 	}
 	st.sweep(time.Now())
-	if n := st.len(); n != 0 {
+	if n := st.Len(); n != 0 {
 		t.Fatalf("store holds %d entries after sweep, want 0", n)
 	}
 }

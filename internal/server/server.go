@@ -48,6 +48,16 @@ type Config struct {
 	// ResultTTL is how long finished tracks and jobs stay retrievable
 	// (0 = 15 min).
 	ResultTTL time.Duration
+	// MaxStoredResults caps how many finished tracks and jobs the default
+	// store retains (0 = 4096); beyond it, least-recently-used entries are
+	// evicted immediately rather than waiting for TTL expiry.
+	MaxStoredResults int
+	// MaxStoredBytes caps the default store's resident bytes (0 = 256 MiB).
+	MaxStoredBytes int64
+	// Store overrides the retention layer entirely (nil = a MemStore sized
+	// by ResultTTL/MaxStoredResults/MaxStoredBytes). The server takes
+	// ownership and closes it on Shutdown.
+	Store ResultStore
 	// MaxFrames caps a job's sequence length (0 = 512).
 	MaxFrames int
 	// MaxPixels caps uploaded/synthetic frame area (0 = 1<<22, i.e. 2048²).
@@ -55,6 +65,10 @@ type Config struct {
 	// DefaultParams seeds request parameter resolution (zero value =
 	// core.ScaledParams, the laptop-scale configuration).
 	DefaultParams core.Params
+	// RowWorkers overrides the per-pair row fan-out (0 = GOMAXPROCS /
+	// Workers). Cluster evaluation pins it to 1 so N co-located worker
+	// processes genuinely divide the host instead of each saturating it.
+	RowWorkers int
 	// Logf receives serving events (nil = log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -97,7 +111,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	pool    *Pool
-	store   *ttlStore
+	store   ResultStore
 	metrics *Metrics
 	mux     *http.ServeMux
 
@@ -114,16 +128,28 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
+	store := cfg.Store
+	if store == nil {
+		store = NewMemStore(MemStoreConfig{
+			TTL:        cfg.ResultTTL,
+			MaxEntries: cfg.MaxStoredResults,
+			MaxBytes:   cfg.MaxStoredBytes,
+			OnEvict:    m.Evicted,
+		})
+	}
 	s := &Server{
 		cfg:     cfg,
 		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
-		store:   newTTLStore(cfg.ResultTTL, m.Evicted),
+		store:   store,
 		metrics: m,
 	}
 	m.queueDepth = s.pool.Depth
 	m.queueCap = s.pool.Cap()
 	m.workers = s.pool.Workers()
-	s.rowWorkers = runtime.GOMAXPROCS(0) / s.pool.Workers()
+	s.rowWorkers = cfg.RowWorkers
+	if s.rowWorkers <= 0 {
+		s.rowWorkers = runtime.GOMAXPROCS(0) / s.pool.Workers()
+	}
 	if s.rowWorkers < 1 {
 		s.rowWorkers = 1
 	}
@@ -132,6 +158,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/track", s.instrument("/v1/track", s.handleTrack))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobCreate))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/{id}/result", s.handleJobResult))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	mux.HandleFunc("GET /v1/track/{id}/svg", s.instrument("/v1/track/{id}/svg", s.handleTrackSVG))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -154,7 +181,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.ready.Store(false)
 	err := s.pool.Shutdown(ctx)
-	s.store.close()
+	s.store.Close()
 	return err
 }
 
@@ -243,7 +270,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrackSVG(w http.ResponseWriter, r *http.Request) {
-	v, ok := s.store.get(r.PathValue("id"))
+	v, ok := s.store.Get(r.PathValue("id"))
 	tr, isTrack := v.(*TrackResult)
 	if !ok || !isTrack {
 		s.httpError(w, http.StatusNotFound, "unknown or expired track id")
@@ -272,7 +299,7 @@ func (s *Server) storeTrack(res *core.Result, bg *grid.Grid, p core.Params) (str
 	if err != nil {
 		return "", err
 	}
-	s.store.put(id, &TrackResult{ID: id, Res: res, Background: bg, Params: p, Created: time.Now()})
+	s.store.Put(id, &TrackResult{ID: id, Res: res, Background: bg, Params: p, Created: time.Now()})
 	return id, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -490,6 +492,47 @@ func TestRunLoadAgainstLiveServer(t *testing.T) {
 	}
 }
 
+func TestRunLoadMultiNode(t *testing.T) {
+	// Two nodes round-robin: the per-node split must cover every request
+	// and reconcile with the aggregate.
+	_, ts1 := testServer(t, Config{})
+	_, ts2 := testServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := RunLoad(ctx, LoadOptions{
+		Nodes:       []string{ts1.URL, ts2.URL},
+		Requests:    12,
+		Concurrency: 4,
+		Size:        24,
+		Verify:      true,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Errors != 0 || res.Mismatches != 0 {
+		t.Fatalf("multi-node run: %d errors, %d mismatches: %v", res.Errors, res.Mismatches, res.ErrorSample)
+	}
+	if len(res.PerNode) != 2 {
+		t.Fatalf("per-node split has %d entries, want 2", len(res.PerNode))
+	}
+	total := 0
+	for i, nl := range res.PerNode {
+		if nl.Requests != 6 {
+			t.Fatalf("node %d served %d requests, want 6 (round-robin)", i, nl.Requests)
+		}
+		if nl.Completed != nl.Requests {
+			t.Fatalf("node %d completed %d of %d", i, nl.Completed, nl.Requests)
+		}
+		if nl.P50Ms <= 0 || nl.MaxMs < nl.P50Ms {
+			t.Fatalf("node %d implausible latency: p50=%.2fms max=%.2fms", i, nl.P50Ms, nl.MaxMs)
+		}
+		total += nl.Completed
+	}
+	if total != res.Requests {
+		t.Fatalf("per-node completions sum to %d, want %d", total, res.Requests)
+	}
+}
+
 func TestRunLoadRetriesBackpressureToCompletion(t *testing.T) {
 	// A one-worker, depth-one queue under 8-way concurrency must push
 	// clients back; the load generator retries after Retry-After, so every
@@ -526,14 +569,14 @@ func TestRunLoadRetriesBackpressureToCompletion(t *testing.T) {
 
 func TestTTLStoreEvicts(t *testing.T) {
 	evicted := make(chan int, 1)
-	st := newTTLStore(10*time.Millisecond, func(n int) { evicted <- n })
-	defer st.close()
-	st.put("a", 1)
-	if _, ok := st.get("a"); !ok {
+	st := NewMemStore(MemStoreConfig{TTL: 10 * time.Millisecond, OnEvict: func(n int) { evicted <- n }})
+	defer st.Close()
+	st.Put("a", 1)
+	if _, ok := st.Get("a"); !ok {
 		t.Fatal("fresh entry missing")
 	}
 	time.Sleep(20 * time.Millisecond)
-	if _, ok := st.get("a"); ok {
+	if _, ok := st.Get("a"); ok {
 		t.Fatal("expired entry still visible")
 	}
 	select {
@@ -543,5 +586,74 @@ func TestTTLStoreEvicts(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("sweeper never ran")
+	}
+}
+
+// TestJobResultStream is the single-node half of the cluster bit-identity
+// contract: a retained job's GET /v1/jobs/{id}/result stream must decode
+// to motion fields byte-identical to the offline sequential tracker on
+// the same synthetic pairs.
+func TestJobResultStream(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	const frames = 4
+	ref := SyntheticRef{Scene: "hurricane", Size: 32, Seed: 11, Frames: frames}
+	view := createJob(t, ts.URL, JobRequest{Synthetic: &ref, Retain: true})
+
+	// A job without retain refuses the result stream.
+	plain := createJob(t, ts.URL, JobRequest{Synthetic: &ref})
+	waitForJob(t, ts.URL, plain.ID, JobDone, 30*time.Second)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + plain.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of non-retained job = %d, want 409", resp.StatusCode)
+	}
+
+	waitForJob(t, ts.URL, view.ID, JobDone, 30*time.Second)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + view.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", resp.StatusCode)
+	}
+
+	scene, err := ref.SceneOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := NewPairStreamReader(resp.Body)
+	n := 0
+	for {
+		rec, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decoding record %d: %v", n, err)
+		}
+		if rec.Pair != n || rec.Status != PairOK {
+			t.Fatalf("record %d = pair %d status %s, want ok in order", n, rec.Pair, rec.Status)
+		}
+		want, err := core.TrackSequential(core.Monocular(
+			scene.Frame(float64(rec.Pair)), scene.Frame(float64(rec.Pair+1))),
+			core.ScaledParams(), core.Options{})
+		if err != nil {
+			t.Fatalf("offline track of pair %d: %v", rec.Pair, err)
+		}
+		var wantBuf bytes.Buffer
+		if err := NewMotionField("", want).WriteBinary(&wantBuf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec.Field, wantBuf.Bytes()) {
+			t.Fatalf("pair %d served field differs from offline tracker", rec.Pair)
+		}
+		n++
+	}
+	if n != frames-1 {
+		t.Fatalf("result stream carried %d pairs, want %d", n, frames-1)
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -31,6 +32,19 @@ type TrackResult struct {
 	Background *grid.Grid
 	Params     core.Params
 	Created    time.Time
+}
+
+// SizeBytes reports the result's resident footprint for the store's byte
+// cap: three float32 planes plus the retained background frame.
+func (t *TrackResult) SizeBytes() int64 {
+	var n int64 = 256 // struct + map-entry overhead, order of magnitude
+	if t.Res != nil {
+		n += 4 * int64(len(t.Res.Flow.U.Data)+len(t.Res.Flow.V.Data)+len(t.Res.Err.Data))
+	}
+	if t.Background != nil {
+		n += 4 * int64(len(t.Background.Data))
+	}
+	return n
 }
 
 // JobStatus is a job lifecycle state.
@@ -80,6 +94,13 @@ type Job struct {
 	pairs    []PairSummary
 	errMsg   string
 	cancel   context.CancelFunc
+
+	// retain keeps each surviving pair's SMF1-encoded motion field so
+	// GET /v1/jobs/{id}/result can stream the merged output — the
+	// bit-identity surface the cluster coordinator is compared against.
+	// fields is indexed by pair; nil entries are dropped pairs.
+	retain bool
+	fields [][]byte
 }
 
 // JobView is the JSON-serializable snapshot GET /v1/jobs/{id} returns.
@@ -139,35 +160,110 @@ func (j *Job) Cancel() bool {
 	return true
 }
 
-// ttlEntry wraps a stored value with its expiry.
-type ttlEntry struct {
+// SizeBytes reports the job's resident footprint for the store's byte
+// cap — dominated by the retained per-pair motion fields.
+func (j *Job) SizeBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var n int64 = 512 // struct + summaries overhead
+	n += int64(len(j.pairs)) * 64
+	for _, f := range j.fields {
+		n += int64(len(f))
+	}
+	return n
+}
+
+// Sizer lets stored values report their resident size so the store's
+// byte cap can account for them. Values without it are charged a small
+// flat overhead.
+type Sizer interface {
+	SizeBytes() int64
+}
+
+// ResultStore is the pluggable retention layer behind tracks and jobs:
+// put/get/delete by id with bounded lifetime and bounded footprint. The
+// default is the in-memory MemStore; alternative backends (an external
+// cache, a disk spill) satisfy the same contract via Config.Store.
+// Implementations must be safe for concurrent use.
+type ResultStore interface {
+	// Put stores v under id, replacing any previous value.
+	Put(id string, v any)
+	// Get returns the live value under id, refreshing its recency.
+	Get(id string) (any, bool)
+	// Delete removes id immediately (DELETE is the cancellation surface;
+	// the TTL sweep may race it — both must be safe).
+	Delete(id string)
+	// Len reports how many live entries the store holds.
+	Len() int
+	// Close stops background maintenance.
+	Close()
+}
+
+// MemStoreConfig sizes the in-memory store. Zero values take the
+// documented defaults.
+type MemStoreConfig struct {
+	// TTL is how long entries stay retrievable (0 = 15 min).
+	TTL time.Duration
+	// MaxEntries caps the live entry count (0 = 4096). The cap fixes the
+	// unbounded-growth hazard of the TTL-only store: with a long TTL and
+	// a high job rate, memory grew with traffic history until the sweep
+	// caught up. Now Put evicts least-recently-used entries immediately.
+	MaxEntries int
+	// MaxBytes caps the summed SizeBytes of stored values (0 = 256 MiB).
+	// Values that do not implement Sizer are charged a flat overhead.
+	MaxBytes int64
+	// OnEvict (may be nil) is told how many entries each eviction pass
+	// dropped, whatever the reason (expiry, count cap, byte cap).
+	OnEvict func(n int)
+}
+
+func (c MemStoreConfig) withDefaults() MemStoreConfig {
+	if c.TTL <= 0 {
+		c.TTL = 15 * time.Minute
+	}
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 4096
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 256 << 20
+	}
+	return c
+}
+
+// memEntry is one stored value plus its expiry, size, and LRU position.
+type memEntry struct {
+	id      string
 	val     any
 	expires time.Time
+	size    int64
+	elem    *list.Element
 }
 
-// ttlStore is the in-memory result/job store with TTL eviction: a mutex
-// map swept periodically plus expiry checks on access, so completed
-// results are retrievable for a bounded window and memory cannot grow
-// with traffic history.
-type ttlStore struct {
+// MemStore is the in-memory ResultStore: a mutex map with TTL expiry
+// (periodic sweep plus checks on access) and a count + bytes cap
+// enforced in LRU order, so completed results are retrievable for a
+// bounded window and memory cannot grow with traffic history or with
+// result size.
+type MemStore struct {
 	mu      sync.Mutex
-	m       map[string]ttlEntry
-	ttl     time.Duration
+	m       map[string]*memEntry
+	lru     *list.List // front = most recently used
+	bytes   int64
+	cfg     MemStoreConfig
 	stop    chan struct{}
 	stopped sync.Once
-	onEvict func(n int)
 }
 
-// newTTLStore starts a store whose entries live for ttl. onEvict (may be
-// nil) is told how many entries each sweep dropped.
-func newTTLStore(ttl time.Duration, onEvict func(n int)) *ttlStore {
-	s := &ttlStore{
-		m:       make(map[string]ttlEntry),
-		ttl:     ttl,
-		stop:    make(chan struct{}),
-		onEvict: onEvict,
+// NewMemStore starts the store and its TTL sweeper.
+func NewMemStore(cfg MemStoreConfig) *MemStore {
+	cfg = cfg.withDefaults()
+	s := &MemStore{
+		m:    make(map[string]*memEntry),
+		lru:  list.New(),
+		cfg:  cfg,
+		stop: make(chan struct{}),
 	}
-	sweep := ttl / 4
+	sweep := cfg.TTL / 4
 	if sweep < time.Second {
 		sweep = time.Second
 	}
@@ -186,44 +282,122 @@ func newTTLStore(ttl time.Duration, onEvict func(n int)) *ttlStore {
 	return s
 }
 
-func (s *ttlStore) sweep(now time.Time) {
+// sizeOf charges Sizer values their reported size and everything else a
+// flat overhead, so heterogeneous stores stay accountable.
+func sizeOf(v any) int64 {
+	if s, ok := v.(Sizer); ok {
+		return s.SizeBytes()
+	}
+	return 256
+}
+
+// sweep drops expired entries, refreshes the cached sizes of live ones
+// (jobs grow while running), and re-enforces the caps.
+func (s *MemStore) sweep(now time.Time) {
 	s.mu.Lock()
 	n := 0
-	for k, e := range s.m {
+	for _, e := range s.m {
 		if now.After(e.expires) {
-			delete(s.m, k)
+			s.removeLocked(e)
 			n++
 		}
 	}
-	cb := s.onEvict
+	// Size refresh: values like running jobs accumulate retained fields
+	// after Put, so the byte accounting is re-measured each sweep and the
+	// caps re-applied. Between sweeps the byte cap is a backstop, not an
+	// instantaneous guarantee.
+	for _, e := range s.m {
+		sz := sizeOf(e.val)
+		s.bytes += sz - e.size
+		e.size = sz
+	}
+	n += s.enforceLocked()
+	cb := s.cfg.OnEvict
 	s.mu.Unlock()
 	if n > 0 && cb != nil {
 		cb(n)
 	}
 }
 
-func (s *ttlStore) put(id string, v any) {
-	s.mu.Lock()
-	s.m[id] = ttlEntry{val: v, expires: time.Now().Add(s.ttl)}
-	s.mu.Unlock()
+// removeLocked unlinks e from the map, LRU list and byte count.
+func (s *MemStore) removeLocked(e *memEntry) {
+	delete(s.m, e.id)
+	s.lru.Remove(e.elem)
+	s.bytes -= e.size
 }
 
-func (s *ttlStore) get(id string) (any, bool) {
+// enforceLocked evicts least-recently-used entries until both caps hold,
+// returning how many were dropped.
+func (s *MemStore) enforceLocked() int {
+	n := 0
+	for len(s.m) > s.cfg.MaxEntries || s.bytes > s.cfg.MaxBytes {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		s.removeLocked(back.Value.(*memEntry))
+		n++
+	}
+	return n
+}
+
+// Put stores v under id, evicting LRU entries if a cap is exceeded.
+func (s *MemStore) Put(id string, v any) {
+	size := sizeOf(v)
+	s.mu.Lock()
+	if old, ok := s.m[id]; ok {
+		s.removeLocked(old)
+	}
+	e := &memEntry{id: id, val: v, expires: time.Now().Add(s.cfg.TTL), size: size}
+	e.elem = s.lru.PushFront(e)
+	s.m[id] = e
+	s.bytes += size
+	n := s.enforceLocked()
+	cb := s.cfg.OnEvict
+	s.mu.Unlock()
+	if n > 0 && cb != nil {
+		cb(n)
+	}
+}
+
+// Get returns the live value under id and marks it most recently used.
+func (s *MemStore) Get(id string) (any, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.m[id]
 	if !ok || time.Now().After(e.expires) {
 		return nil, false
 	}
+	s.lru.MoveToFront(e.elem)
 	return e.val, true
 }
 
-func (s *ttlStore) len() int {
+// Delete removes id immediately. Safe to race with the TTL sweep and
+// with Get: whichever side wins, the entry is gone and the accounting
+// stays consistent.
+func (s *MemStore) Delete(id string) {
+	s.mu.Lock()
+	if e, ok := s.m[id]; ok {
+		s.removeLocked(e)
+	}
+	s.mu.Unlock()
+}
+
+// Len reports the live entry count.
+func (s *MemStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.m)
 }
 
-func (s *ttlStore) close() {
+// Bytes reports the accounted footprint (refreshed each sweep).
+func (s *MemStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Close stops the sweeper.
+func (s *MemStore) Close() {
 	s.stopped.Do(func() { close(s.stop) })
 }

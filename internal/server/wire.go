@@ -1,0 +1,247 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"sma/internal/ingest"
+)
+
+// Pair-record stream framing ("SMP1"): the wire form of a multi-pair job
+// result, used by GET /v1/jobs/{id}/result and by the cluster shard
+// protocol to move per-pair SMF1 fields between nodes.
+//
+// Layout: the 4-byte magic "SMP1", then one record per pair in strictly
+// ascending pair order —
+//
+//	[u32 pair LE][u8 status][u32 payloadLen LE][payload]
+//
+// where status 0 (ok) carries an SMF1-framed motion field, status 1
+// (skipped) and 2 (failed) carry the UTF-8 cause. The stream ends with a
+// sentinel record (pair = 0xFFFFFFFF, status 0xFF) whose payload is an
+// optional JSON trailer; result streams leave it empty so byte-identity
+// holds across topologies (per-run statistics differ between a
+// single-node and a sharded execution of the same job).
+//
+// A stream cut mid-record decodes as ingest.ErrTruncated wrapped with
+// io.ErrUnexpectedEOF, so stream.Transient classifies it retryable — the
+// property the coordinator's shard retry loop relies on.
+var pairStreamMagic = [4]byte{'S', 'M', 'P', '1'}
+
+// Pair-record status codes on the wire.
+const (
+	pairWireOK      = 0
+	pairWireSkipped = 1
+	pairWireFailed  = 2
+	pairWireEnd     = 0xFF
+)
+
+// pairWireEndIndex is the sentinel pair index closing a stream.
+const pairWireEndIndex = 0xFFFFFFFF
+
+// maxPairPayload bounds one record's payload (a motion field for frames
+// capped at MaxPixels, or an error string): 3 float32 planes at the
+// 2048² serving cap plus framing, rounded up.
+const maxPairPayload = 64 << 20
+
+// PairRecord is one decoded record: an SMF1-framed field for ok pairs,
+// a cause for dropped ones.
+type PairRecord struct {
+	Pair   int
+	Status string // PairOK | PairSkipped | PairFailed
+	Field  []byte // raw SMF1 bytes (ok only)
+	Cause  string // skipped/failed only
+}
+
+// PairStreamWriter emits the SMP1 framing.
+type PairStreamWriter struct {
+	w     io.Writer
+	began bool
+}
+
+// NewPairStreamWriter wraps w; the magic is written with the first record.
+func NewPairStreamWriter(w io.Writer) *PairStreamWriter {
+	return &PairStreamWriter{w: w}
+}
+
+func (pw *PairStreamWriter) begin() error {
+	if pw.began {
+		return nil
+	}
+	pw.began = true
+	_, err := pw.w.Write(pairStreamMagic[:])
+	return err
+}
+
+func (pw *PairStreamWriter) record(pair uint32, status byte, payload []byte) error {
+	if err := pw.begin(); err != nil {
+		return err
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pair)
+	hdr[4] = status
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(payload)
+	return err
+}
+
+// WriteOK emits pair's SMF1-framed motion field.
+func (pw *PairStreamWriter) WriteOK(pair int, smf []byte) error {
+	return pw.record(uint32(pair), pairWireOK, smf)
+}
+
+// WriteDropped emits a skipped or failed pair with its cause.
+func (pw *PairStreamWriter) WriteDropped(pair int, status, cause string) error {
+	code := byte(pairWireSkipped)
+	if status == PairFailed {
+		code = pairWireFailed
+	}
+	return pw.record(uint32(pair), code, []byte(cause))
+}
+
+// WriteEnd closes the stream with the sentinel record. trailer may be nil
+// (result streams) or a JSON document (shard streams carry their stats).
+func (pw *PairStreamWriter) WriteEnd(trailer []byte) error {
+	return pw.record(pairWireEndIndex, pairWireEnd, trailer)
+}
+
+// truncated wraps a mid-stream read failure so both ingest.ErrTruncated
+// (classification) and io.ErrUnexpectedEOF (stream.Transient) match.
+func truncated(what string, err error) error {
+	if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		err = io.ErrUnexpectedEOF
+	}
+	return fmt.Errorf("%w: pair stream: %s: %w", ingest.ErrTruncated, what, err)
+}
+
+// PairStreamReader decodes the SMP1 framing.
+type PairStreamReader struct {
+	r       io.Reader
+	began   bool
+	done    bool
+	trailer []byte
+}
+
+// NewPairStreamReader wraps r.
+func NewPairStreamReader(r io.Reader) *PairStreamReader {
+	return &PairStreamReader{r: r}
+}
+
+// Next returns the next pair record, or io.EOF after the end sentinel.
+// A stream cut anywhere before the sentinel returns an error matching
+// both ingest.ErrTruncated and stream.Transient.
+func (pr *PairStreamReader) Next() (PairRecord, error) {
+	var rec PairRecord
+	if pr.done {
+		return rec, io.EOF
+	}
+	if !pr.began {
+		var magic [4]byte
+		if _, err := io.ReadFull(pr.r, magic[:]); err != nil {
+			return rec, truncated("magic", err)
+		}
+		if magic != pairStreamMagic {
+			return rec, fmt.Errorf("server: bad pair-stream magic %q", magic[:])
+		}
+		pr.began = true
+	}
+	var hdr [9]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		return rec, truncated("record header", err)
+	}
+	pair := binary.LittleEndian.Uint32(hdr[0:])
+	status := hdr[4]
+	n := binary.LittleEndian.Uint32(hdr[5:])
+	if n > maxPairPayload {
+		return rec, fmt.Errorf("server: pair-stream payload %d exceeds cap %d", n, maxPairPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(pr.r, payload); err != nil {
+		return rec, truncated(fmt.Sprintf("pair %d payload", pair), err)
+	}
+	if pair == pairWireEndIndex || status == pairWireEnd {
+		if pair != pairWireEndIndex || status != pairWireEnd {
+			return rec, fmt.Errorf("server: malformed pair-stream sentinel (pair %d, status %d)", pair, status)
+		}
+		pr.done = true
+		pr.trailer = payload
+		return rec, io.EOF
+	}
+	rec.Pair = int(pair)
+	switch status {
+	case pairWireOK:
+		rec.Status = PairOK
+		rec.Field = payload
+	case pairWireSkipped:
+		rec.Status = PairSkipped
+		rec.Cause = string(payload)
+	case pairWireFailed:
+		rec.Status = PairFailed
+		rec.Cause = string(payload)
+	default:
+		return rec, fmt.Errorf("server: unknown pair-stream status %d for pair %d", status, pair)
+	}
+	return rec, nil
+}
+
+// Trailer returns the sentinel's payload; valid only after Next returned
+// io.EOF.
+func (pr *PairStreamReader) Trailer() []byte { return pr.trailer }
+
+// MeanMag decodes the record's SMF1 payload and returns the mean
+// displacement magnitude in pixels (0 for dropped pairs or undecodable
+// payloads) — the scalar the job view summarizes ok pairs with.
+func (r PairRecord) MeanMag() float64 {
+	if len(r.Field) == 0 {
+		return 0
+	}
+	f, err := ReadBinaryMotionField(bytes.NewReader(r.Field))
+	if err != nil {
+		return 0
+	}
+	vf, _, err := f.Flow()
+	if err != nil {
+		return 0
+	}
+	return vf.MeanMagnitude()
+}
+
+// WritePairStream renders a finished job's merged output in the SMP1
+// framing: every pair in ascending order — retained SMF1 fields for ok
+// pairs, status + cause for dropped ones — then an empty-trailer
+// sentinel. Both the single-node result endpoint and the cluster
+// coordinator emit through here, which is what makes their outputs
+// byte-comparable.
+func WritePairStream(w io.Writer, fields [][]byte, dropped []PairSummary) error {
+	pw := NewPairStreamWriter(w)
+	byPair := make(map[int]PairSummary, len(dropped))
+	for _, p := range dropped {
+		if p.Status != PairOK {
+			byPair[p.Pair] = p
+		}
+	}
+	for pair, smf := range fields {
+		if smf != nil {
+			if err := pw.WriteOK(pair, smf); err != nil {
+				return err
+			}
+			continue
+		}
+		if d, ok := byPair[pair]; ok {
+			if err := pw.WriteDropped(pair, d.Status, d.Error); err != nil {
+				return err
+			}
+		} else {
+			if err := pw.WriteDropped(pair, PairSkipped, "pair not delivered"); err != nil {
+				return err
+			}
+		}
+	}
+	return pw.WriteEnd(nil)
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/iotest"
+
+	"sma/internal/ingest"
+	"sma/internal/stream"
+)
+
+// wireTestField builds a deterministic SMF1-framed motion field.
+func wireTestField(t testing.TB, w, h int, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	f := MotionField{Width: w, Height: h,
+		U: make([]float32, w*h), V: make([]float32, w*h), Eps: make([]float32, w*h)}
+	for i := range f.U {
+		f.U[i] = rng.Float32()*4 - 2
+		f.V[i] = rng.Float32()*4 - 2
+		f.Eps[i] = rng.Float32()
+	}
+	var buf bytes.Buffer
+	if err := f.WriteBinary(&buf); err != nil {
+		t.Fatalf("encoding test field: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// wireTestStream encodes a shard-shaped stream: ok fields interleaved
+// with dropped pairs, closed by a trailer.
+func wireTestStream(t testing.TB, trailer []byte) ([]byte, []PairRecord) {
+	t.Helper()
+	want := []PairRecord{
+		{Pair: 0, Status: PairOK, Field: wireTestField(t, 16, 12, 1)},
+		{Pair: 1, Status: PairSkipped, Cause: "frame 2 skipped after 3 attempts"},
+		{Pair: 2, Status: PairOK, Field: wireTestField(t, 16, 12, 2)},
+		{Pair: 3, Status: PairFailed, Cause: "tracking failed: singular normal matrix"},
+		{Pair: 4, Status: PairOK, Field: wireTestField(t, 16, 12, 3)},
+	}
+	var buf bytes.Buffer
+	pw := NewPairStreamWriter(&buf)
+	for _, r := range want {
+		var err error
+		if r.Status == PairOK {
+			err = pw.WriteOK(r.Pair, r.Field)
+		} else {
+			err = pw.WriteDropped(r.Pair, r.Status, r.Cause)
+		}
+		if err != nil {
+			t.Fatalf("encoding pair %d: %v", r.Pair, err)
+		}
+	}
+	if err := pw.WriteEnd(trailer); err != nil {
+		t.Fatalf("encoding sentinel: %v", err)
+	}
+	return buf.Bytes(), want
+}
+
+// TestPairStreamRoundTrip: encode a shard's worth of records, decode them
+// back through a one-byte-at-a-time reader (the chunked-transfer shape),
+// and require byte-identical fields and intact drop causes plus the
+// trailer.
+func TestPairStreamRoundTrip(t *testing.T) {
+	trailer := []byte(`{"pairs_tracked":3}`)
+	enc, want := wireTestStream(t, trailer)
+
+	pr := NewPairStreamReader(iotest.OneByteReader(bytes.NewReader(enc)))
+	var got []PairRecord
+	for {
+		rec, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decoding record %d: %v", len(got), err)
+		}
+		got = append(got, rec)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Pair != w.Pair || g.Status != w.Status || g.Cause != w.Cause {
+			t.Fatalf("record %d = {%d %s %q}, want {%d %s %q}",
+				i, g.Pair, g.Status, g.Cause, w.Pair, w.Status, w.Cause)
+		}
+		if !bytes.Equal(g.Field, w.Field) {
+			t.Fatalf("pair %d field bytes differ after round trip", w.Pair)
+		}
+		if g.Status == PairOK {
+			if _, err := ReadBinaryMotionField(bytes.NewReader(g.Field)); err != nil {
+				t.Fatalf("pair %d payload is not a valid SMF1 field: %v", w.Pair, err)
+			}
+		}
+	}
+	if !bytes.Equal(pr.Trailer(), trailer) {
+		t.Fatalf("trailer %q, want %q", pr.Trailer(), trailer)
+	}
+	// The reader stays terminated.
+	if _, err := pr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("post-sentinel Next = %v, want io.EOF", err)
+	}
+}
+
+// TestPairStreamTruncationTransient: a connection cut anywhere mid-stream
+// — inside the magic, a record header, or a motion-field payload — must
+// classify as ingest.ErrTruncated AND stream.Transient, so the
+// coordinator retries the shard instead of failing the job.
+func TestPairStreamTruncationTransient(t *testing.T) {
+	enc, _ := wireTestStream(t, nil)
+	cuts := []int{0, 2, 4 + 3, 4 + 9 + 100, len(enc) / 2, len(enc) - 1}
+	for _, cut := range cuts {
+		if cut >= len(enc) {
+			continue
+		}
+		pr := NewPairStreamReader(bytes.NewReader(enc[:cut]))
+		var err error
+		for err == nil {
+			_, err = pr.Next()
+		}
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("cut at %d decoded to a clean EOF; truncation went unnoticed", cut)
+		}
+		if !errors.Is(err, ingest.ErrTruncated) {
+			t.Fatalf("cut at %d: error %v does not match ingest.ErrTruncated", cut, err)
+		}
+		if !stream.Transient(err) {
+			t.Fatalf("cut at %d: error %v not classified transient", cut, err)
+		}
+	}
+}
+
+// TestWritePairStreamFillsGaps: pairs with neither a retained field nor a
+// recorded drop (a cancelled run) still stream as explicit skips, so the
+// record count always equals the pair count.
+func TestWritePairStreamFillsGaps(t *testing.T) {
+	fields := [][]byte{wireTestField(t, 8, 8, 9), nil, wireTestField(t, 8, 8, 10)}
+	dropped := []PairSummary{{Pair: 1, Status: PairFailed, Error: "boom"}}
+	var buf bytes.Buffer
+	if err := WritePairStream(&buf, fields, dropped); err != nil {
+		t.Fatalf("WritePairStream: %v", err)
+	}
+	pr := NewPairStreamReader(&buf)
+	statuses := map[int]string{}
+	for {
+		rec, err := pr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		statuses[rec.Pair] = rec.Status
+	}
+	want := map[int]string{0: PairOK, 1: PairFailed, 2: PairOK}
+	for pair, status := range want {
+		if statuses[pair] != status {
+			t.Fatalf("pair %d status %q, want %q (got %v)", pair, statuses[pair], status, statuses)
+		}
+	}
+	if len(statuses) != 3 {
+		t.Fatalf("stream carried %d records, want 3", len(statuses))
+	}
+}
+
+// FuzzPairStream throws arbitrary bytes at the decoder: it must never
+// panic, and whatever decodes cleanly must re-encode to a stream that
+// decodes to the same records. The corpus seeds a valid stream and the
+// mid-field cut the truncation contract is about.
+func FuzzPairStream(f *testing.F) {
+	enc, _ := wireTestStream(f, []byte(`{"ok":true}`))
+	f.Add(enc)
+	// Mid-field cut: halfway through pair 0's SMF1 payload.
+	f.Add(enc[:4+9+50])
+	f.Add([]byte("SMP1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr := NewPairStreamReader(bytes.NewReader(data))
+		var recs []PairRecord
+		var err error
+		for {
+			var rec PairRecord
+			rec, err = pr.Next()
+			if err != nil {
+				break
+			}
+			recs = append(recs, rec)
+			if len(recs) > 1<<12 {
+				t.Skip("implausibly long fuzz stream")
+			}
+		}
+		if !errors.Is(err, io.EOF) {
+			return // malformed input rejected; nothing more to check
+		}
+		// Clean decode: round-trip must be stable.
+		var buf bytes.Buffer
+		pw := NewPairStreamWriter(&buf)
+		for _, r := range recs {
+			if r.Status == PairOK {
+				if err := pw.WriteOK(r.Pair, r.Field); err != nil {
+					t.Fatalf("re-encode: %v", err)
+				}
+			} else {
+				if err := pw.WriteDropped(r.Pair, r.Status, r.Cause); err != nil {
+					t.Fatalf("re-encode: %v", err)
+				}
+			}
+		}
+		if err := pw.WriteEnd(pr.Trailer()); err != nil {
+			t.Fatalf("re-encode sentinel: %v", err)
+		}
+		pr2 := NewPairStreamReader(&buf)
+		for i := 0; ; i++ {
+			rec, err := pr2.Next()
+			if errors.Is(err, io.EOF) {
+				if i != len(recs) {
+					t.Fatalf("re-decode stopped at %d records, want %d", i, len(recs))
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("re-decode record %d: %v", i, err)
+			}
+			w := recs[i]
+			if rec.Pair != w.Pair || rec.Status != w.Status || rec.Cause != w.Cause || !bytes.Equal(rec.Field, w.Field) {
+				t.Fatalf("record %d changed across round trip", i)
+			}
+		}
+	})
+}

@@ -86,6 +86,13 @@ sh scripts/serve_smoke.sh || fail=1
 echo "== chaos smoke"
 sh scripts/chaos_smoke.sh || fail=1
 
+# End-to-end cluster smoke (docs/CLUSTER.md): coordinator over two real
+# worker processes — multi-node load, injected node faults with exact
+# Expect accounting, a SIGKILL-worker drill, and the process-mode
+# scaling ladder gated on bit-identity (speedup gate on >= 4 cores).
+echo "== cluster smoke"
+sh scripts/cluster_smoke.sh || fail=1
+
 if [ "$fail" -ne 0 ]; then
     echo "check: FAILED"
     exit 1
