@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet smavet smavet-baseline race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke scaling-smoke cluster-smoke
+.PHONY: all build test check vet smavet smavet-baseline race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke scaling-smoke cluster-smoke recovery-smoke
 
 all: build
 
@@ -79,6 +79,14 @@ scaling-smoke:
 # (on >= 4 cores) the widest rung's speedup (docs/CLUSTER.md).
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# recovery-smoke: end-to-end smoke of the durable job plane — a real
+# smaserve killed dead (exit 137) mid-job and restarted over the same
+# -data-dir, plus the SIGKILL-coordinator drill (smachaos -recover) —
+# every resumed job byte-identical to an uninterrupted run
+# (docs/ROBUSTNESS.md).
+recovery-smoke:
+	sh scripts/recovery_smoke.sh
 
 fmt:
 	gofmt -w .

@@ -24,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smabench: ")
 	var (
-		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,track,scaling,stream,serve,chaos,cluster")
+		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,track,scaling,stream,serve,chaos,cluster,recovery")
 		size     = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
 		seed     = flag.Int64("seed", 5, "scene seed for the functional experiments")
 		report   = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
@@ -44,6 +44,9 @@ func main() {
 		clusterBin    = flag.String("cluster-bin", "", "smaserve binary for process-mode cluster workers (empty = in-process)")
 		clusterJobs   = flag.Int("cluster-jobs", 3, "jobs per cluster rung")
 		clusterFrames = flag.Int("cluster-frames", 17, "frames per cluster job")
+
+		recoveryOut = flag.String("recovery-out", "BENCH_recovery.json", "where the recovery drill writes its durability trajectory point")
+		recoveryBin = flag.String("recovery-bin", "", "smaserve binary for the crash-recovery drill (empty = skip the drill)")
 	)
 	flag.Parse()
 	want := map[string]bool{}
@@ -391,6 +394,40 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  wrote %s\n\n", *clusterOut)
+	}
+	if run("recovery") {
+		fmt.Println("Durable job plane — SIGKILL-coordinator crash-recovery drill")
+		if *recoveryBin == "" {
+			fmt.Print("  skipped: the drill kills a real process; point -recovery-bin at a smaserve binary\n\n")
+		} else {
+			r, err := eval.RecoveryExperiment(context.Background(), eval.RecoveryOptions{
+				Bin:  *recoveryBin,
+				Seed: *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %d workers, %d frames at %d×%d, %d shards of %d pairs\n",
+				r.Workers, r.Frames, r.Size, r.Size, r.Shards, r.ShardPairs)
+			fmt.Printf("  coordinator exit %d after %d checkpoints; resumed=%v, %d shards restored\n",
+				r.CoordinatorExit, r.CrashAfterShards, r.Resumed, r.ShardsRestored)
+			fmt.Printf("  %d pairs verified bit-identical: %v   crash %.2fs resume %.2fs\n",
+				r.PairsVerified, r.BitIdentical, r.CrashPhaseSec, r.ResumeSec)
+			for _, v := range r.Violations {
+				fmt.Printf("  VIOLATION: %s\n", v)
+			}
+			f, err := os.Create(*recoveryOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := r.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  wrote %s\n\n", *recoveryOut)
+		}
 	}
 	if run("ablation") {
 		fmt.Println("Ablation — neighborhood fetch design (§3.2/§4.2), 121×121 template at paper scale")

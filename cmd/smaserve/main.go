@@ -17,10 +17,21 @@
 // contiguous pair-range shards, dispatches them to the workers, and
 // merges the per-pair streams bit-identically to a single node.
 //
+// With -data-dir the job plane is durable: job state goes through a
+// write-ahead journal and result bytes live on disk, and a restart over
+// the same directory restores finished jobs and resumes interrupted ones
+// from their last checkpoint — bit-identical to an uninterrupted run
+// (docs/ROBUSTNESS.md):
+//
+//	smaserve -data-dir /var/lib/smaserve
+//	smaserve -coordinator -worker-urls ... -data-dir /var/lib/smaserve
+//
 // The server drains gracefully on SIGINT/SIGTERM: readiness flips to 503,
 // listeners close, queued and in-flight tracking work runs to completion
-// (bounded by -drain-timeout), then the process exits 0. See
-// docs/SERVER.md for the API and serving model.
+// (bounded by -drain-timeout), then the process exits 0. Jobs still
+// queued when a durable server drains are checkpointed pending and
+// resume on the next start. See docs/SERVER.md for the API and serving
+// model.
 package main
 
 import (
@@ -59,6 +70,7 @@ func main() {
 		rowWorkers   = flag.Int("row-workers", 0, "per-pair row parallelism (0 = GOMAXPROCS; pin to 1 for scaling studies)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain bound")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
+		dataDir      = flag.String("data-dir", "", "durable job plane directory: journal job state and result bytes here, and resume interrupted jobs on restart (empty = in-memory only)")
 
 		coordinator    = flag.Bool("coordinator", false, "run as a cluster coordinator (requires -worker-urls)")
 		workerMode     = flag.Bool("worker", false, "run as a cluster worker: full API plus the internal shard endpoint")
@@ -91,6 +103,7 @@ func main() {
 			MaxFrames:      *maxFrames,
 			MaxPixels:      *maxPixels,
 			HealthInterval: *healthInterval,
+			DataDir:        *dataDir,
 			Logf:           log.Printf,
 		})
 		if err != nil {
@@ -98,12 +111,20 @@ func main() {
 		}
 		coCtx, coCancel := context.WithCancel(context.Background())
 		defer coCancel()
+		if *dataDir != "" {
+			rs, err := co.Recover(coCtx)
+			if err != nil {
+				log.Fatalf("coordinator recovery: %v", err)
+			}
+			log.Printf("recovered %s: %d restored, %d resumed, %d orphan dirs swept (journal: %d records, %d bytes repaired)",
+				*dataDir, rs.Restored, rs.Resumed, rs.OrphanDirs, rs.Journal.Records, rs.Journal.TruncatedBytes)
+		}
 		co.Start(coCtx)
 		log.Printf("coordinator over %d workers: %s", len(urls), strings.Join(urls, ", "))
 		handler = co.Handler()
 		shutdown = co.Shutdown
 	} else {
-		srv := server.New(server.Config{
+		srv, err := server.Open(server.Config{
 			Workers:      *workers,
 			QueueDepth:   *queueDepth,
 			MaxBodyBytes: *maxBody,
@@ -113,8 +134,20 @@ func main() {
 			MaxFrames:    *maxFrames,
 			MaxPixels:    *maxPixels,
 			RowWorkers:   *rowWorkers,
+			DataDir:      *dataDir,
 			Logf:         log.Printf,
 		})
+		if err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		if *dataDir != "" {
+			rs, err := srv.Recover(context.Background())
+			if err != nil {
+				log.Fatalf("recovery: %v", err)
+			}
+			log.Printf("recovered %s: %d restored, %d resumed, %d orphan dirs swept (journal: %d records, %d bytes repaired)",
+				*dataDir, rs.Restored, rs.Resumed, rs.OrphanDirs, rs.Journal.Records, rs.Journal.TruncatedBytes)
+		}
 		handler = srv.Handler()
 		shutdown = srv.Shutdown
 		if *workerMode {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,11 @@ type Config struct {
 	// (0 = the store defaults).
 	MaxStoredResults int
 	MaxStoredBytes   int64
+	// DataDir, when set, makes the coordinator durable: job state is
+	// write-ahead journaled and merged shard fields persist on disk, so a
+	// crashed or killed coordinator resumes interrupted jobs on restart —
+	// re-dispatching only their unfinished shards. Call Recover after New.
+	DataDir string
 	// HealthInterval paces worker heartbeats (0 = 1s).
 	HealthInterval time.Duration
 	// RetryDelay spaces same-node transient retries (0 = 50ms).
@@ -95,6 +101,8 @@ type Coordinator struct {
 	cfg     Config
 	reg     *Registry
 	store   server.ResultStore
+	jl      *server.JobLog
+	fstore  *server.FileStore
 	metrics *Metrics
 	mux     *http.ServeMux
 	client  *http.Client
@@ -127,16 +135,38 @@ func New(cfg Config) (*Coordinator, error) {
 		retryDelay: cfg.RetryDelay,
 		jobSlots:   make(chan struct{}, cfg.MaxJobs),
 	}
-	c.store = server.NewMemStore(server.MemStoreConfig{
+	mcfg := server.MemStoreConfig{
 		TTL:        cfg.ResultTTL,
 		MaxEntries: cfg.MaxStoredResults,
 		MaxBytes:   cfg.MaxStoredBytes,
-	})
+	}
+	if cfg.DataDir != "" {
+		jl, err := server.OpenJobLog(cfg.DataDir, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		// A job evicted or deleted from the store must not resurrect on the
+		// next restart.
+		mcfg.OnRemove = jl.Delete
+		fstore, err := server.NewFileStore(server.FileStoreConfig{
+			MemStoreConfig: mcfg,
+			Dir:            cfg.DataDir,
+			Logf:           cfg.Logf,
+		})
+		if err != nil {
+			jl.Close() //smavet:allow errdiscard -- error-path teardown
+			return nil, err
+		}
+		c.jl, c.fstore, c.store = jl, fstore, fstore
+	} else {
+		c.store = server.NewMemStore(mcfg)
+	}
 	c.metrics.workers = c.reg.Len
 	c.metrics.aliveCount = c.reg.AliveCount
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", c.handleJobCreate)
+	mux.HandleFunc("GET /v1/jobs", c.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleJobResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleJobCancel)
@@ -163,7 +193,10 @@ func (c *Coordinator) Handler() http.Handler { return c.mux }
 func (c *Coordinator) Registry() *Registry { return c.reg }
 
 // Shutdown drains: readiness flips immediately, running jobs finish (or
-// abort when ctx expires), heartbeats stop, and the store closes.
+// are cancelled when ctx expires), heartbeats stop, and the store closes.
+// With a durable plane attached, jobs the drain cuts short are journaled
+// pending — Recover resumes them on the next start instead of losing the
+// work the way a plain SIGTERM used to.
 func (c *Coordinator) Shutdown(ctx context.Context) error {
 	c.draining.Store(true)
 	c.ready.Store(false)
@@ -177,9 +210,25 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		err = ctx.Err()
+		// Cancel what is still running; the dispatch loops abort on their
+		// cancelled contexts, so the jobs settle (and journal their pending
+		// markers) promptly.
+		c.store.Range(func(id string, v any) bool {
+			if job, ok := v.(*clusterJob); ok {
+				job.Cancel()
+			}
+			return true
+		})
+		<-done
 	}
 	c.reg.Stop()
 	c.store.Close()
+	if c.jl != nil {
+		// Closed after the drain so abandoned jobs' pending markers land.
+		if cerr := c.jl.Close(); cerr != nil {
+			c.cfg.Logf("smaserve: closing cluster journal: %v", cerr)
+		}
+	}
 	return err
 }
 
@@ -261,10 +310,22 @@ func (c *Coordinator) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	// request; DELETE /v1/jobs/{id} is the cancellation surface.
 	jobCtx, jobCancel := context.WithCancel(context.WithoutCancel(r.Context()))
 	job := newClusterJob(id, frames, jobCancel)
+	if c.jl != nil {
+		// The spec must be durable before the job is acknowledged: a crash
+		// after the 202 must find the job in the journal. The injected
+		// cluster_fault plan is deliberately not journaled — a resumed job
+		// re-dispatches under real liveness only (docs/ROBUSTNESS.md).
+		if err := c.jl.Spec(id, &req.JobRequest, frames, job.created); err != nil {
+			jobCancel()
+			release()
+			c.httpError(w, http.StatusInternalServerError, fmt.Sprintf("journaling job spec: %v", err))
+			return
+		}
+	}
 	c.store.Put(id, job)
 	c.metrics.JobTransition("created")
 	c.wg.Add(1)
-	go c.runJob(jobCtx, job, req, plan, release)
+	go c.runJob(jobCtx, job, req, plan, nil, release)
 
 	w.Header().Set("Location", "/v1/jobs/"+id)
 	w.Header().Set("Content-Type", "application/json")
@@ -288,6 +349,41 @@ func (c *Coordinator) getJob(w http.ResponseWriter, r *http.Request) *clusterJob
 		return nil
 	}
 	return job
+}
+
+// handleJobList mirrors the single-node GET /v1/jobs rows so operators
+// point one dashboard at either role — and see what recovery brought
+// back after a coordinator restart.
+func (c *Coordinator) handleJobList(w http.ResponseWriter, r *http.Request) {
+	view := server.JobListView{Jobs: []server.JobListEntry{}}
+	now := time.Now()
+	c.store.Range(func(id string, v any) bool {
+		job, isJob := v.(*clusterJob)
+		if !isJob {
+			return true
+		}
+		jv := job.View()
+		view.Jobs = append(view.Jobs, server.JobListEntry{
+			ID:         jv.ID,
+			Status:     jv.Status,
+			Frames:     jv.Frames,
+			PairsDone:  len(jv.Pairs),
+			PairsTotal: jv.Frames - 1,
+			AgeSec:     now.Sub(jv.Created).Seconds(),
+			Recovered:  jv.Recovered,
+		})
+		return true
+	})
+	sort.Slice(view.Jobs, func(i, k int) bool {
+		if view.Jobs[i].AgeSec != view.Jobs[k].AgeSec {
+			return view.Jobs[i].AgeSec < view.Jobs[k].AgeSec
+		}
+		return view.Jobs[i].ID < view.Jobs[k].ID
+	})
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(view); err != nil {
+		c.cfg.Logf("smaserve: writing cluster job list: %v", err)
+	}
 }
 
 func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -23,9 +23,10 @@ const sameNodeRetries = 2
 
 // runJob executes one sharded job: cut the pair range, dispatch every
 // shard (at most one in-flight dispatch per configured node), and settle
-// the terminal status from what survived. jobDone releases the admission
-// slot.
-func (c *Coordinator) runJob(ctx context.Context, job *clusterJob, req JobRequest, plan *fault.ClusterPlan, jobDone func()) {
+// the terminal status from what survived. skip names shards already
+// satisfied from recovery checkpoints (nil on fresh jobs). jobDone
+// releases the admission slot.
+func (c *Coordinator) runJob(ctx context.Context, job *clusterJob, req JobRequest, plan *fault.ClusterPlan, skip map[int]bool, jobDone func()) {
 	defer c.wg.Done()
 	defer jobDone()
 	shards := makeShards(job.frames-1, c.cfg.ShardPairs)
@@ -38,6 +39,9 @@ func (c *Coordinator) runJob(ctx context.Context, job *clusterJob, req JobReques
 	sem := make(chan struct{}, c.reg.Len())
 	var wg sync.WaitGroup
 	for k := range shards {
+		if skip[k] {
+			continue
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(k int) {
@@ -50,11 +54,21 @@ func (c *Coordinator) runJob(ctx context.Context, job *clusterJob, req JobReques
 
 	status := job.finish(runCtx)
 	view := job.View()
+	if c.jl != nil {
+		if status == server.JobCancelled && c.draining.Load() {
+			// The drain cut the job short: checkpoint it resumable instead of
+			// losing the queued work the way pre-durability SIGTERM did.
+			c.jl.Pending(job.ID)
+			c.metrics.JobTransition("pending")
+		} else {
+			c.jl.End(job.ID, status, view.Error, view.Stats)
+		}
+	}
 	c.metrics.JobTransition(string(status))
 	c.metrics.AddJob(view.Cluster, view.Stats.PairsTracked)
-	c.cfg.Logf("smaserve: cluster job %s %s: %d shards, %d retries, %d reassigned, %d nodes lost",
+	c.cfg.Logf("smaserve: cluster job %s %s: %d shards, %d retries, %d reassigned, %d nodes lost, %d restored",
 		job.ID, status, view.Cluster.Shards, view.Cluster.DispatchRetries,
-		view.Cluster.Reassigned, view.Cluster.NodesLost)
+		view.Cluster.Reassigned, view.Cluster.NodesLost, view.Cluster.ShardsRestored)
 }
 
 // dispatchShard places and executes one shard, mirroring
@@ -98,6 +112,8 @@ func (c *Coordinator) dispatchShard(ctx context.Context, job *clusterJob, req Jo
 			c.reg.Dispatched(node)
 			job.place(k, node, home)
 			job.merge(recs, st)
+			c.checkpointShard(job, k, node, sh, recs, st)
+			fault.Crash("cluster.shard")
 			return
 		}
 		var pe *permanentShardError
@@ -123,6 +139,34 @@ func (c *Coordinator) dispatchShard(ctx context.Context, job *clusterJob, req Jo
 		hops++
 		transients = 0
 	}
+}
+
+// checkpointShard makes one merged shard durable: field bytes first, the
+// pair events next, and the shard-done record last — so a replayed shard
+// event certifies that everything it covers is already on disk. Any
+// persistence failure abandons the checkpoint (logged); the shard simply
+// re-runs on recovery, degrading durability but never correctness.
+func (c *Coordinator) checkpointShard(job *clusterJob, k, node int, sh shardRange, recs []server.PairRecord, st stream.Stats) {
+	if c.jl == nil {
+		return
+	}
+	for _, rec := range recs {
+		if rec.Status != server.PairOK {
+			continue
+		}
+		if err := c.fstore.PutField(job.ID, rec.Pair, rec.Field); err != nil {
+			c.cfg.Logf("smaserve: persisting field %s/%d: %v (shard %d will re-run on recovery)", job.ID, rec.Pair, err, k)
+			return
+		}
+	}
+	for _, rec := range recs {
+		sum := server.PairSummary{Pair: rec.Pair, Status: rec.Status, Error: rec.Cause}
+		if rec.Status == server.PairOK {
+			sum.MeanMag = rec.MeanMag()
+		}
+		c.jl.Pair(job.ID, sum)
+	}
+	c.jl.ShardDone(job.ID, k, server.ShardCheckpoint{Node: c.reg.URL(node), Lo: sh.Lo, Hi: sh.Hi, Stats: st})
 }
 
 // permanentShardError marks a shard the cluster must not retry: the

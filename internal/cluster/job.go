@@ -35,6 +35,14 @@ type clusterJob struct {
 	reassigned      int64
 	lostNodes       map[int]bool
 	placement       []int
+
+	// Recovery provenance: "" normally, "restored" for a terminal job
+	// rebuilt from the journal, "resumed" for an interrupted job finishing
+	// its remaining shards. shardsRestored counts shards whose results
+	// came from checkpoints instead of this run's dispatch (their
+	// placement entries stay -1).
+	recovered      string
+	shardsRestored int64
 }
 
 // ClusterInfo is the dispatch accounting a job view carries.
@@ -44,6 +52,9 @@ type ClusterInfo struct {
 	Reassigned      int64 `json:"shards_reassigned"`
 	NodesLost       int64 `json:"nodes_lost"`
 	Placement       []int `json:"placement,omitempty"`
+	// ShardsRestored counts shards recovered from checkpoints rather than
+	// dispatched by this process (crash-recovery resumes).
+	ShardsRestored int64 `json:"shards_restored,omitempty"`
 }
 
 // JobView is the coordinator's job snapshot: the single-node view plus
@@ -73,13 +84,14 @@ func (j *clusterJob) View() JobView {
 	sort.Slice(pairs, func(a, b int) bool { return pairs[a].Pair < pairs[b].Pair })
 	v := JobView{
 		JobView: server.JobView{
-			ID:      j.ID,
-			Status:  j.status,
-			Frames:  j.frames,
-			Created: j.created,
-			Stats:   j.stats,
-			Pairs:   pairs,
-			Error:   j.errMsg,
+			ID:        j.ID,
+			Status:    j.status,
+			Frames:    j.frames,
+			Created:   j.created,
+			Stats:     j.stats,
+			Pairs:     pairs,
+			Error:     j.errMsg,
+			Recovered: j.recovered,
 		},
 		Cluster: ClusterInfo{
 			Shards:          j.shards,
@@ -87,6 +99,7 @@ func (j *clusterJob) View() JobView {
 			Reassigned:      j.reassigned,
 			NodesLost:       int64(len(j.lostNodes)),
 			Placement:       append([]int(nil), j.placement...),
+			ShardsRestored:  j.shardsRestored,
 		},
 	}
 	if !j.started.IsZero() {
@@ -185,16 +198,36 @@ func (j *clusterJob) merge(recs []server.PairRecord, st stream.Stats) {
 		}
 		j.pairs = append(j.pairs, sum)
 	}
-	j.stats.FramesIn += st.FramesIn
-	j.stats.FitsComputed += st.FitsComputed
-	j.stats.FitsReused += st.FitsReused
-	j.stats.Evictions += st.Evictions
-	j.stats.PairsTracked += st.PairsTracked
-	j.stats.Retries += st.Retries
-	j.stats.FramesSkipped += st.FramesSkipped
-	j.stats.PairsSkipped += st.PairsSkipped
-	j.stats.PairsFailed += st.PairsFailed
-	j.stats.Gaps += st.Gaps
+	addStats(&j.stats, st)
+	j.mu.Unlock()
+}
+
+// addStats folds one shard's stats trailer into a running total.
+func addStats(dst *stream.Stats, st stream.Stats) {
+	dst.FramesIn += st.FramesIn
+	dst.FitsComputed += st.FitsComputed
+	dst.FitsReused += st.FitsReused
+	dst.Evictions += st.Evictions
+	dst.PairsTracked += st.PairsTracked
+	dst.Retries += st.Retries
+	dst.FramesSkipped += st.FramesSkipped
+	dst.PairsSkipped += st.PairsSkipped
+	dst.PairsFailed += st.PairsFailed
+	dst.Gaps += st.Gaps
+}
+
+// restoreShard re-seats one checkpointed shard's pairs, fields, and stats
+// on a resumed job, before its remaining shards dispatch.
+func (j *clusterJob) restoreShard(pairs []server.PairSummary, fields map[int][]byte, st stream.Stats) {
+	j.mu.Lock()
+	j.pairs = append(j.pairs, pairs...)
+	for p, b := range fields {
+		if p >= 0 && p < len(j.fields) {
+			j.fields[p] = b
+		}
+	}
+	addStats(&j.stats, st)
+	j.shardsRestored++
 	j.mu.Unlock()
 }
 

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"sma/internal/server"
+)
+
+// Recover replays the coordinator's journal, restores terminal jobs into
+// the store, resumes interrupted jobs by re-dispatching only their
+// unfinished shards, sweeps orphaned field directories, and compacts the
+// journal. Call once, after New and before serving traffic (workers need
+// not be alive yet — resumed dispatches walk the registry like any
+// other). A no-op without Config.DataDir.
+func (c *Coordinator) Recover(ctx context.Context) (server.RecoveryStats, error) {
+	var rs server.RecoveryStats
+	if c.jl == nil {
+		return rs, nil
+	}
+	recs, jst, err := c.jl.Replay()
+	rs.Journal = jst
+	if err != nil {
+		return rs, err
+	}
+	// Compact before resubmitting: resumed jobs append new checkpoints
+	// concurrently, and Compact must not race them.
+	if err := c.jl.Compact(recs); err != nil {
+		return rs, err
+	}
+
+	live := map[string]bool{}
+	var resume []*server.RecoveredJob
+	for _, r := range recs {
+		live[r.ID] = true
+		if r.Ended {
+			c.restoreJob(r)
+			rs.Restored++
+			continue
+		}
+		resume = append(resume, r)
+	}
+	n, err := c.fstore.SweepOrphans(func(id string) bool { return live[id] })
+	rs.OrphanDirs = n
+	if err != nil {
+		c.cfg.Logf("smaserve: cluster recovery orphan sweep: %v", err)
+	}
+	for _, r := range resume {
+		if err := c.resumeJob(ctx, r); err != nil {
+			c.cfg.Logf("smaserve: resuming cluster job %s: %v", r.ID, err)
+			continue
+		}
+		rs.Resumed++
+	}
+	return rs, nil
+}
+
+// restoreJob rebuilds a terminal cluster job from its journal state and
+// persisted fields and puts it back in the store.
+func (c *Coordinator) restoreJob(r *server.RecoveredJob) {
+	if r.Frames < 2 {
+		c.cfg.Logf("smaserve: cluster job %s unrestorable (frames=%d)", r.ID, r.Frames)
+		return
+	}
+	job := newClusterJob(r.ID, r.Frames, nil)
+	job.status = r.Status
+	job.created, job.started, job.finished = r.Created, r.Created, r.Created
+	job.stats = r.Stats
+	job.errMsg = r.ErrMsg
+	job.pairs = append([]server.PairSummary(nil), r.Pairs...)
+	job.shards = len(r.Shards)
+	job.recovered = "restored"
+	for _, ps := range r.Pairs {
+		if ps.Status != server.PairOK || ps.Pair < 0 || ps.Pair >= len(job.fields) {
+			continue
+		}
+		b, ok, err := c.fstore.Field(r.ID, ps.Pair)
+		if err != nil || !ok {
+			// The checkpoint said this field was durable; its absence means
+			// disk damage outside the journal's control. Surface loudly.
+			c.cfg.Logf("smaserve: cluster job %s pair %d: checkpointed field missing (ok=%v err=%v)", r.ID, ps.Pair, ok, err)
+			continue
+		}
+		job.fields[ps.Pair] = b
+	}
+	c.store.Put(r.ID, job)
+	c.metrics.JobTransition("restored")
+}
+
+// resumeJob resubmits an interrupted cluster job: shards whose
+// checkpoints verify (same geometry, every pair event present, every ok
+// field readable) are re-seated from disk, everything else re-dispatches.
+// The merged output is byte-identical to an uninterrupted run because
+// shard checkpoints are only written after their fields are durable and
+// each pair's bytes are position-independent.
+func (c *Coordinator) resumeJob(ctx context.Context, r *server.RecoveredJob) error {
+	if r.Frames < 2 || r.Req.Synthetic == nil {
+		return fmt.Errorf("unresumable spec (frames=%d)", r.Frames)
+	}
+	if _, err := c.resolveParams(r.Req.Params); err != nil {
+		return err
+	}
+	shards := makeShards(r.Frames-1, c.cfg.ShardPairs)
+	byPair := map[int]server.PairSummary{}
+	for _, ps := range r.Pairs {
+		byPair[ps.Pair] = ps
+	}
+
+	jobCtx, jobCancel := context.WithCancel(context.WithoutCancel(ctx))
+	job := newClusterJob(r.ID, r.Frames, jobCancel)
+	job.created = r.Created
+	job.recovered = "resumed"
+	skip := map[int]bool{}
+	for k, cp := range r.Shards {
+		if k < 0 || k >= len(shards) || shards[k].Lo != cp.Lo || shards[k].Hi != cp.Hi {
+			// ShardPairs changed across the restart: the checkpointed range no
+			// longer matches shard k's cut, so re-run it under the new geometry.
+			continue
+		}
+		pairs := make([]server.PairSummary, 0, cp.Hi-cp.Lo)
+		fields := map[int][]byte{}
+		complete := true
+		for p := cp.Lo; p < cp.Hi; p++ {
+			ps, have := byPair[p]
+			if !have {
+				complete = false
+				break
+			}
+			if ps.Status == server.PairOK {
+				b, ok, err := c.fstore.Field(r.ID, p)
+				if err != nil || !ok {
+					c.cfg.Logf("smaserve: cluster job %s pair %d: checkpointed field missing (ok=%v err=%v); re-running shard %d", r.ID, p, ok, err, k)
+					complete = false
+					break
+				}
+				fields[p] = b
+			}
+			pairs = append(pairs, ps)
+		}
+		if !complete {
+			continue
+		}
+		skip[k] = true
+		job.restoreShard(pairs, fields, cp.Stats)
+	}
+
+	c.store.Put(r.ID, job)
+	c.metrics.JobTransition("resumed")
+	req := JobRequest{JobRequest: r.Req}
+	c.wg.Add(1)
+	go func() {
+		// Blocking admission: resumed jobs respect MaxJobs like fresh ones,
+		// queueing behind each other when recovery brings back more than fit.
+		c.jobSlots <- struct{}{}
+		c.runJob(jobCtx, job, req, nil, skip, func() { <-c.jobSlots })
+	}()
+	return nil
+}

@@ -365,14 +365,19 @@ func decodeEvalBody(resp *http.Response, wantCode int, v any) error {
 // straight from the sequential tracker — the ground truth every rung
 // must reproduce byte for byte.
 func offlineReferenceStream(opt ClusterScalingOptions) ([]byte, error) {
-	ref := server.SyntheticRef{Scene: "hurricane", Size: opt.Size, Seed: opt.Seed, Frames: opt.Frames}
+	return offlineStream(server.SyntheticRef{Scene: "hurricane", Size: opt.Size, Seed: opt.Seed, Frames: opt.Frames})
+}
+
+// offlineStream renders the sequential tracker's merged SMP1 stream for
+// a synthetic reference — shared by the scaling and recovery oracles.
+func offlineStream(ref server.SyntheticRef) ([]byte, error) {
 	scene, err := ref.SceneOf()
 	if err != nil {
 		return nil, err
 	}
 	params := core.ScaledParams()
-	fields := make([][]byte, opt.Frames-1)
-	for p := 0; p < opt.Frames-1; p++ {
+	fields := make([][]byte, ref.Frames-1)
+	for p := 0; p < ref.Frames-1; p++ {
 		res, err := core.TrackSequential(core.Monocular(
 			scene.Frame(float64(p)), scene.Frame(float64(p+1))), params, core.Options{})
 		if err != nil {

@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CrashEnv selects a deterministic crash point: "<point>:<n>" kills the
+// process (exit 137, mirroring SIGKILL) the n-th time Crash(point) is
+// reached. The recovery drills use it to die at an exact checkpoint —
+// "after the 3rd pair was journaled", "after the 2nd shard merged" —
+// so CI exercises mid-job death without the timing races of an external
+// kill -9.
+const CrashEnv = "SMA_CRASH"
+
+var crashMu sync.Mutex
+var crashHits = map[string]int{}
+
+// Crash terminates the process when the CrashEnv variable names this
+// point and its hit count has been reached. A no-op otherwise (including
+// on a malformed spec), so crash points are free to leave in production
+// paths.
+func Crash(point string) {
+	spec := os.Getenv(CrashEnv)
+	if spec == "" {
+		return
+	}
+	name, countStr, ok := strings.Cut(spec, ":")
+	if !ok || name != point {
+		return
+	}
+	n, err := strconv.Atoi(countStr)
+	if err != nil || n <= 0 {
+		return
+	}
+	crashMu.Lock()
+	crashHits[point]++
+	hit := crashHits[point]
+	crashMu.Unlock()
+	if hit == n {
+		fmt.Fprintf(os.Stderr, "fault: crash point %q hit %d; dying\n", point, n)
+		// A SIGKILL-faithful death is the entire contract here: no
+		// deferred cleanup, no flushes, exit code 137 like the kernel's
+		// OOM/KILL path, so recovery drills exercise the same torn state
+		// a real kill -9 leaves behind.
+		os.Exit(137) //smavet:allow panicfree -- deterministic crash-point injection must die, not return
+	}
+}

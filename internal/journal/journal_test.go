@@ -1,0 +1,323 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayAll opens dir and collects every payload plus the repair stats.
+func replayAll(t *testing.T, dir string) ([][]byte, ReplayStats, *Journal) {
+	t.Helper()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var got [][]byte
+	st, err := j.Replay(func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got, st, j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	want := [][]byte{[]byte("one"), []byte("two"), bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, p := range want {
+		if err := j.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, st, j2 := replayAll(t, dir)
+	defer j2.Close()
+	if st.Records != len(want) || st.Corrupt || st.TruncatedBytes != 0 {
+		t.Fatalf("stats = %+v, want %d clean records", st, len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// The journal stays appendable after replay.
+	if err := j2.Append([]byte("post-replay")); err != nil {
+		t.Fatalf("Append after Replay: %v", err)
+	}
+}
+
+func TestJournalRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{MaxSegmentBytes: 64})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("expected rotation into multiple segments, got %v (err %v)", segs, err)
+	}
+	got, st, j2 := replayAll(t, dir)
+	defer j2.Close()
+	if len(got) != n || st.Records != n {
+		t.Fatalf("replayed %d records across %d segments, want %d", len(got), st.Segments, n)
+	}
+	for i := range got {
+		if want := fmt.Sprintf("record-%02d", i); string(got[i]) != want {
+			t.Fatalf("record %d = %q, want %q (ordering across segments)", i, got[i], want)
+		}
+	}
+}
+
+// TestJournalTornTail: chopping bytes off the last record must replay the
+// records before it, truncate the tail, and leave the log appendable.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	for cut := 1; cut < 8+5; cut++ { // through the frame and into the payload
+		dir2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir2, "wal-00000001.seg"), data[:len(data)-cut], 0o644); err != nil {
+			t.Fatalf("write torn copy: %v", err)
+		}
+		got, st, j2 := replayAll(t, dir2)
+		if len(got) != 2 {
+			t.Fatalf("cut %d: replayed %d records, want the 2 before the torn tail", cut, len(got))
+		}
+		if st.Corrupt {
+			t.Fatalf("cut %d: torn tail misreported as corruption", cut)
+		}
+		if st.TruncatedBytes == 0 {
+			t.Fatalf("cut %d: no truncation reported", cut)
+		}
+		// The repaired log accepts appends and replays them next time.
+		if err := j2.Append([]byte("after-repair")); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		j2.Close()
+		got2, _, j3 := replayAll(t, dir2)
+		j3.Close()
+		if len(got2) != 3 || string(got2[2]) != "after-repair" {
+			t.Fatalf("cut %d: post-repair replay got %d records", cut, len(got2))
+		}
+	}
+}
+
+// TestJournalBitFlip: corrupting a payload byte must drop that record and
+// everything after it, and flag the damage as corruption.
+func TestJournalBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	// Flip a byte inside the second record's payload: header(8) +
+	// rec0(8+5) + frame(8) puts us inside rec1.
+	data[8+13+8+2] ^= 0x40
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatalf("write corrupted copy: %v", err)
+	}
+	got, st, j2 := replayAll(t, dir)
+	defer j2.Close()
+	if len(got) != 1 || string(got[0]) != "rec-0" {
+		t.Fatalf("replayed %d records after bit flip, want just rec-0", len(got))
+	}
+	if !st.Corrupt {
+		t.Fatal("checksum mismatch not reported as corruption")
+	}
+}
+
+// TestJournalDamageDropsLaterSegments: a corrupt middle segment ends the
+// trusted prefix; later segments must be removed, not replayed.
+func TestJournalDamageDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{MaxSegmentBytes: 32})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Corrupt the second segment's first payload byte.
+	data, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	data[8+8] ^= 0x01
+	if err := os.WriteFile(segs[1], data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	got, st, j2 := replayAll(t, dir)
+	defer j2.Close()
+	if len(got) != 2 || string(got[1]) != "record-01" {
+		t.Fatalf("survivors = %q, want segment 1's two records", got)
+	}
+	if !st.Corrupt || st.DroppedSegments == 0 {
+		t.Fatalf("stats = %+v, want corruption with dropped segments", st)
+	}
+	remaining, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(remaining) != 2 {
+		t.Fatalf("%d segments remain, want 2 (valid head + truncated damage)", len(remaining))
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{MaxSegmentBytes: 48})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("dead-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	live := [][]byte{[]byte("live-a"), []byte("live-b")}
+	if err := j.Compact(live); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// Post-compact appends extend the compacted state.
+	if err := j.Append([]byte("live-c")); err != nil {
+		t.Fatalf("Append after Compact: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("%d segments after compaction, want 1", len(segs))
+	}
+	got, st, j2 := replayAll(t, dir)
+	defer j2.Close()
+	want := []string{"live-a", "live-b", "live-c"}
+	if len(got) != len(want) || st.Corrupt {
+		t.Fatalf("replayed %d records (stats %+v), want %d", len(got), st, len(want))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalEmptyAndOversizePayloads: the append-side guards.
+func TestJournalPayloadBounds(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer j.Close()
+	if err := j.Append(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if err := j.Append(make([]byte, maxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+// TestJournalZeroFilledTail: a tail of zero bytes (preallocated blocks
+// after power loss) reads as a torn tail, not as records.
+func TestJournalZeroFilledTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := j.Append([]byte("solid")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write(make([]byte, 4096)); err != nil {
+		t.Fatalf("pad: %v", err)
+	}
+	f.Close()
+	got, st, j2 := replayAll(t, dir)
+	defer j2.Close()
+	if len(got) != 1 || string(got[0]) != "solid" {
+		t.Fatalf("replayed %d records, want the one before the zero tail", len(got))
+	}
+	if st.Corrupt {
+		t.Fatal("zero-filled tail misreported as corruption")
+	}
+	if st.TruncatedBytes != 4096 {
+		t.Fatalf("truncated %d bytes, want 4096", st.TruncatedBytes)
+	}
+}
+
+// encodeRecord builds one valid wire record, for the fuzz seed corpus.
+func encodeRecord(payload []byte) []byte {
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	return append(frame[:], payload...)
+}

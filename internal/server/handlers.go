@@ -9,6 +9,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -318,11 +319,24 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	opt := core.Options{Robust: req.Robust}
 
+	// The spec must be durable before the job is acknowledged: a crash
+	// after the 202 then finds the job in the journal and resumes it.
+	if s.jlog != nil {
+		if err := s.jlog.Spec(id, &req, frames, job.created); err != nil {
+			jobCancel()
+			s.httpError(w, http.StatusInternalServerError, fmt.Sprintf("journaling job: %v", err))
+			return
+		}
+	}
+
 	submitErr := s.pool.Submit(func(poolCtx context.Context) {
 		s.runJob(poolCtx, jobCtx, job, src, params, opt)
 	})
 	if submitErr != nil {
 		jobCancel()
+		if s.jlog != nil {
+			s.jlog.Delete(id) // never ran; do not resurrect it on restart
+		}
 		if errors.Is(submitErr, ErrSaturated) || errors.Is(submitErr, ErrShuttingDown) {
 			s.rejectSaturated(w, http.StatusServiceUnavailable)
 			return
@@ -351,11 +365,23 @@ func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.So
 
 	job.mu.Lock()
 	if err := ctx.Err(); err != nil {
-		// Cancelled while queued.
+		// Cancelled while queued. A shutdown drain is not a user decision:
+		// checkpoint the job as pending so recovery resumes it, instead of
+		// silently abandoning queued work the way SIGTERM used to.
+		if s.draining.Load() && s.jlog != nil {
+			job.status = JobQueued
+			job.mu.Unlock()
+			s.jlog.Pending(job.ID)
+			s.metrics.JobTransition("pending")
+			return
+		}
 		job.status = JobCancelled
 		job.finished = time.Now()
 		job.mu.Unlock()
 		s.metrics.JobTransition(string(JobCancelled))
+		if s.jlog != nil {
+			s.jlog.End(job.ID, JobCancelled, "", stream.Stats{})
+		}
 		return
 	}
 	job.status = JobRunning
@@ -378,16 +404,25 @@ func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.So
 		Gate:         &core.QualityGate{MaxBadFrac: 0, MaxDeadLineFrac: 1},
 		IsolatePairs: true,
 		OnPairDrop: func(pair int, cause error) {
+			// pairOffset maps a resumed pipeline's indices onto the original
+			// sequence (zero for ordinary jobs).
+			pair += job.pairOffset
 			status := PairFailed
 			var fe *stream.FrameError
 			if errors.As(cause, &fe) {
 				status = PairSkipped
 			}
+			ps := PairSummary{Pair: pair, Status: status, Error: cause.Error()}
 			job.mu.Lock()
-			job.pairs = append(job.pairs, PairSummary{Pair: pair, Status: status, Error: cause.Error()})
+			job.pairs = append(job.pairs, ps)
 			job.mu.Unlock()
+			if s.jlog != nil {
+				s.jlog.Pair(job.ID, ps)
+				fault.Crash("server.pair")
+			}
 		},
 	}, func(pair int, res *core.Result) error {
+		pair += job.pairOffset
 		var smf []byte
 		if job.retain {
 			var buf bytes.Buffer
@@ -396,14 +431,39 @@ func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.So
 			}
 			smf = buf.Bytes()
 		}
+		ps := PairSummary{Pair: pair, Status: PairOK, MeanMag: res.Flow.MeanMagnitude()}
 		job.mu.Lock()
-		job.pairs = append(job.pairs, PairSummary{Pair: pair, Status: PairOK, MeanMag: res.Flow.MeanMagnitude()})
+		job.pairs = append(job.pairs, ps)
 		if smf != nil && pair >= 0 && pair < len(job.fields) {
 			job.fields[pair] = smf
 		}
 		job.mu.Unlock()
+		if s.jlog != nil {
+			// Checkpoint ordering: the field bytes must be durable BEFORE
+			// the pair event, so replay never references a missing field. A
+			// failed field write skips the checkpoint (the pair re-runs on
+			// resume) — durability degrades, correctness does not.
+			if smf != nil {
+				if err := s.fstore.PutField(job.ID, pair, smf); err != nil {
+					s.cfg.Logf("smaserve: persisting field %d of %s: %v", pair, job.ID, err)
+					return nil
+				}
+			}
+			s.jlog.Pair(job.ID, ps)
+			fault.Crash("server.pair")
+		}
 		return nil
 	})
+
+	// A resumed job's pipeline stats cover only the re-run window; fold
+	// the checkpointed prefix back in so totals match an uninterrupted
+	// run (fit-cache counters died with the old process and stay zero).
+	// Metrics below charge only the work this process actually did.
+	run := st
+	st.FramesIn += job.prefix.FramesIn
+	st.PairsTracked += job.prefix.PairsTracked
+	st.PairsSkipped += job.prefix.PairsSkipped
+	st.PairsFailed += job.prefix.PairsFailed
 
 	job.mu.Lock()
 	job.stats = st
@@ -426,10 +486,74 @@ func (s *Server) runJob(poolCtx, jobCtx context.Context, job *Job, src stream.So
 		job.errMsg = err.Error()
 	}
 	status := job.status
+	errMsg := job.errMsg
 	job.mu.Unlock()
-	s.metrics.JobTransition(string(status))
-	s.metrics.AddWork(st.PairsTracked, st.FitsComputed, st.FitsReused)
-	s.metrics.AddDegraded(st)
+	if s.jlog != nil {
+		if status == JobCancelled && s.draining.Load() {
+			// The drain, not the user, cancelled this run: mark it pending
+			// so recovery resumes it from the pairs already checkpointed.
+			s.jlog.Pending(job.ID)
+			s.metrics.JobTransition("pending")
+		} else {
+			s.jlog.End(job.ID, status, errMsg, st)
+			s.metrics.JobTransition(string(status))
+		}
+	} else {
+		s.metrics.JobTransition(string(status))
+	}
+	s.metrics.AddWork(run.PairsTracked, run.FitsComputed, run.FitsReused)
+	s.metrics.AddDegraded(run)
+}
+
+// JobListEntry is one row of GET /v1/jobs: enough for an operator to see
+// what is queued, running, finished — and what recovery restored.
+type JobListEntry struct {
+	ID         string    `json:"id"`
+	Status     JobStatus `json:"status"`
+	Frames     int       `json:"frames"`
+	PairsDone  int       `json:"pairs_done"`
+	PairsTotal int       `json:"pairs_total"`
+	AgeSec     float64   `json:"age_sec"`
+	Recovered  string    `json:"recovered,omitempty"`
+}
+
+// JobListView is the JSON body of GET /v1/jobs.
+type JobListView struct {
+	Jobs []JobListEntry `json:"jobs"`
+}
+
+// handleJobList lists live jobs, newest first. Tracks stored for SVG
+// rendering are not jobs and are skipped.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	view := JobListView{Jobs: []JobListEntry{}}
+	now := time.Now()
+	s.store.Range(func(id string, v any) bool {
+		job, isJob := v.(*Job)
+		if !isJob {
+			return true
+		}
+		jv := job.View()
+		view.Jobs = append(view.Jobs, JobListEntry{
+			ID:         jv.ID,
+			Status:     jv.Status,
+			Frames:     jv.Frames,
+			PairsDone:  len(jv.Pairs),
+			PairsTotal: jv.Frames - 1,
+			AgeSec:     now.Sub(jv.Created).Seconds(),
+			Recovered:  jv.Recovered,
+		})
+		return true
+	})
+	sort.Slice(view.Jobs, func(i, k int) bool {
+		if view.Jobs[i].AgeSec != view.Jobs[k].AgeSec {
+			return view.Jobs[i].AgeSec < view.Jobs[k].AgeSec
+		}
+		return view.Jobs[i].ID < view.Jobs[k].ID
+	})
+	w.Header().Set("Content-Type", "application/json")
+	if err := writeJSON(w, view); err != nil {
+		s.cfg.Logf("smaserve: writing job list: %v", err)
+	}
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -58,6 +58,12 @@ type Config struct {
 	// by ResultTTL/MaxStoredResults/MaxStoredBytes). The server takes
 	// ownership and closes it on Shutdown.
 	Store ResultStore
+	// DataDir enables the durable job plane (use Open, not New): job
+	// specs, pair checkpoints, and terminal statuses are journaled under
+	// DataDir/journal and retained result bytes persisted under
+	// DataDir/fields, so Recover can restore finished jobs and resume
+	// interrupted ones after a crash. Mutually exclusive with Store.
+	DataDir string
 	// MaxFrames caps a job's sequence length (0 = 512).
 	MaxFrames int
 	// MaxPixels caps uploaded/synthetic frame area (0 = 1<<22, i.e. 2048²).
@@ -118,6 +124,10 @@ type Server struct {
 	ready    atomic.Bool
 	draining atomic.Bool
 
+	// Durable job plane (nil without Config.DataDir; see Open/Recover).
+	jlog   *JobLog
+	fstore *FileStore
+
 	// rowWorkers stripes each tracked pair across this many goroutines so
 	// one request cannot monopolize the host while others queue, yet a
 	// lone request still uses the whole machine.
@@ -157,6 +167,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/track", s.instrument("/v1/track", s.handleTrack))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobCreate))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("/v1/jobs/{id}/result", s.handleJobResult))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
@@ -182,6 +193,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
 	err := s.pool.Shutdown(ctx)
 	s.store.Close()
+	if s.jlog != nil {
+		// Closed after the drain so abandoned jobs' pending markers land.
+		if cerr := s.jlog.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 

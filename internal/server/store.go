@@ -6,6 +6,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -101,6 +102,15 @@ type Job struct {
 	// fields is indexed by pair; nil entries are dropped pairs.
 	retain bool
 	fields [][]byte
+
+	// Recovery state (zero for ordinary jobs). recovered marks how the
+	// durable plane rebuilt this job ("restored" = was terminal,
+	// "resumed" = re-run from a checkpoint); pairOffset maps the resumed
+	// pipeline's pair indices onto the original sequence; prefix re-adds
+	// the checkpointed prefix's counters to the resumed run's stats.
+	recovered  string
+	pairOffset int
+	prefix     stream.Stats
 }
 
 // JobView is the JSON-serializable snapshot GET /v1/jobs/{id} returns.
@@ -115,6 +125,9 @@ type JobView struct {
 	Stats      stream.Stats  `json:"stats"`
 	Pairs      []PairSummary `json:"pairs,omitempty"`
 	Error      string        `json:"error,omitempty"`
+	// Recovered is set on jobs the durable plane rebuilt after a restart:
+	// "restored" (was finished) or "resumed" (re-run from a checkpoint).
+	Recovered string `json:"recovered,omitempty"`
 }
 
 // View snapshots the job under its lock.
@@ -122,13 +135,14 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:      j.ID,
-		Status:  j.status,
-		Frames:  j.frames,
-		Created: j.created,
-		Stats:   j.stats,
-		Pairs:   append([]PairSummary(nil), j.pairs...),
-		Error:   j.errMsg,
+		ID:        j.ID,
+		Status:    j.status,
+		Frames:    j.frames,
+		Created:   j.created,
+		Stats:     j.stats,
+		Pairs:     append([]PairSummary(nil), j.pairs...),
+		Error:     j.errMsg,
+		Recovered: j.recovered,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -195,6 +209,10 @@ type ResultStore interface {
 	Delete(id string)
 	// Len reports how many live entries the store holds.
 	Len() int
+	// Range calls fn for each live entry in id order until fn returns
+	// false. The iteration runs over a snapshot: fn must not assume the
+	// entry is still present, and may call back into the store.
+	Range(fn func(id string, v any) bool)
 	// Close stops background maintenance.
 	Close()
 }
@@ -215,6 +233,11 @@ type MemStoreConfig struct {
 	// OnEvict (may be nil) is told how many entries each eviction pass
 	// dropped, whatever the reason (expiry, count cap, byte cap).
 	OnEvict func(n int)
+	// OnRemove (may be nil) is called with the id of every entry that
+	// leaves the store — expiry, cap eviction, or Delete — but NOT when a
+	// Put replaces an existing value (the id is still live). FileStore
+	// hangs disk cleanup off this hook. Called outside the store lock.
+	OnRemove func(id string)
 }
 
 func (c MemStoreConfig) withDefaults() MemStoreConfig {
@@ -295,13 +318,17 @@ func sizeOf(v any) int64 {
 // (jobs grow while running), and re-enforces the caps.
 func (s *MemStore) sweep(now time.Time) {
 	s.mu.Lock()
-	n := 0
+	var removed []string
 	for _, e := range s.m {
 		if now.After(e.expires) {
 			s.removeLocked(e)
-			n++
+			removed = append(removed, e.id)
 		}
 	}
+	// Map order leaks into the OnRemove callback sequence otherwise;
+	// sorted ids keep eviction side effects (journal deletes, field-dir
+	// removal) deterministic run to run.
+	sort.Strings(removed)
 	// Size refresh: values like running jobs accumulate retained fields
 	// after Put, so the byte accounting is re-measured each sweep and the
 	// caps re-applied. Between sweeps the byte cap is a backstop, not an
@@ -311,11 +338,23 @@ func (s *MemStore) sweep(now time.Time) {
 		s.bytes += sz - e.size
 		e.size = sz
 	}
-	n += s.enforceLocked()
-	cb := s.cfg.OnEvict
+	removed = append(removed, s.enforceLocked()...)
 	s.mu.Unlock()
-	if n > 0 && cb != nil {
-		cb(n)
+	s.notifyRemoved(removed)
+}
+
+// notifyRemoved fires the eviction callbacks outside the lock.
+func (s *MemStore) notifyRemoved(ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	if cb := s.cfg.OnEvict; cb != nil {
+		cb(len(ids))
+	}
+	if cb := s.cfg.OnRemove; cb != nil {
+		for _, id := range ids {
+			cb(id)
+		}
 	}
 }
 
@@ -327,18 +366,19 @@ func (s *MemStore) removeLocked(e *memEntry) {
 }
 
 // enforceLocked evicts least-recently-used entries until both caps hold,
-// returning how many were dropped.
-func (s *MemStore) enforceLocked() int {
-	n := 0
+// returning the ids it dropped.
+func (s *MemStore) enforceLocked() []string {
+	var removed []string
 	for len(s.m) > s.cfg.MaxEntries || s.bytes > s.cfg.MaxBytes {
 		back := s.lru.Back()
 		if back == nil {
 			break
 		}
-		s.removeLocked(back.Value.(*memEntry))
-		n++
+		e := back.Value.(*memEntry)
+		s.removeLocked(e)
+		removed = append(removed, e.id)
 	}
-	return n
+	return removed
 }
 
 // Put stores v under id, evicting LRU entries if a cap is exceeded.
@@ -352,12 +392,9 @@ func (s *MemStore) Put(id string, v any) {
 	e.elem = s.lru.PushFront(e)
 	s.m[id] = e
 	s.bytes += size
-	n := s.enforceLocked()
-	cb := s.cfg.OnEvict
+	removed := s.enforceLocked()
 	s.mu.Unlock()
-	if n > 0 && cb != nil {
-		cb(n)
-	}
+	s.notifyRemoved(removed)
 }
 
 // Get returns the live value under id and marks it most recently used.
@@ -377,10 +414,37 @@ func (s *MemStore) Get(id string) (any, bool) {
 // stays consistent.
 func (s *MemStore) Delete(id string) {
 	s.mu.Lock()
-	if e, ok := s.m[id]; ok {
+	e, ok := s.m[id]
+	if ok {
 		s.removeLocked(e)
 	}
 	s.mu.Unlock()
+	if ok {
+		if cb := s.cfg.OnRemove; cb != nil {
+			cb(id)
+		}
+	}
+}
+
+// Range calls fn for each live entry in id order. It snapshots the
+// entries under the lock and iterates outside it, so fn may call back
+// into the store (and must tolerate entries expiring mid-iteration).
+func (s *MemStore) Range(fn func(id string, v any) bool) {
+	now := time.Now()
+	s.mu.Lock()
+	snap := make([]*memEntry, 0, len(s.m))
+	for _, e := range s.m {
+		if !now.After(e.expires) {
+			snap = append(snap, e)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(snap, func(i, k int) bool { return snap[i].id < snap[k].id })
+	for _, e := range snap {
+		if !fn(e.id, e.val) {
+			return
+		}
+	}
 }
 
 // Len reports the live entry count.

@@ -93,6 +93,13 @@ sh scripts/chaos_smoke.sh || fail=1
 echo "== cluster smoke"
 sh scripts/cluster_smoke.sh || fail=1
 
+# End-to-end recovery smoke (docs/ROBUSTNESS.md): a durable smaserve
+# killed dead mid-job and restarted over the same -data-dir, plus the
+# SIGKILL-coordinator shard-checkpoint drill — resumed output must be
+# byte-identical to an uninterrupted run.
+echo "== recovery smoke"
+sh scripts/recovery_smoke.sh || fail=1
+
 if [ "$fail" -ne 0 ]; then
     echo "check: FAILED"
     exit 1
