@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet smavet smavet-baseline race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke scaling-smoke cluster-smoke recovery-smoke
+.PHONY: all build test check vet smavet smavet-baseline race fuzz-smoke fmt serve-smoke chaos-smoke bench-smoke pyramid-smoke scaling-smoke cluster-smoke recovery-smoke
 
 all: build
 
@@ -64,6 +64,13 @@ chaos-smoke:
 # (docs/PERFORMANCE.md).
 bench-smoke:
 	sh scripts/bench_smoke.sh
+
+# pyramid-smoke: the coarse-to-fine search experiment (smabench -only
+# pyramid), gated on full-radius bit-identity, a >= 3x hypothesis-work
+# speedup at NZS=10, and <= 0.1 grid-unit drift at the fixture tracers
+# (docs/PERFORMANCE.md §9).
+pyramid-smoke:
+	sh scripts/pyramid_smoke.sh
 
 # scaling-smoke: the strong/weak scaling study of the tile-scheduled
 # parallel driver (smabench -only scaling), gated on bit-identity,

@@ -20,11 +20,39 @@ import (
 	"sma/internal/eval"
 )
 
+// experiments registers every -only key with a one-line description; the
+// order here is the order -list prints and roughly the order a full run
+// executes.
+var experiments = []struct{ Key, Desc string }{
+	{"table1", "neighborhood sizes, Hurricane Frederic (paper Table 1)"},
+	{"table2", "modeled MP-2 stage times vs the paper's (Table 2)"},
+	{"table3", "neighborhood sizes, GOES-9 (Table 3)"},
+	{"table4", "modeled GOES-9 stage times (Table 4)"},
+	{"luis", "Hurricane Luis 490-frame sequence cost model (§5)"},
+	{"fig4", "time per pixel correspondence vs z-template size (Figure 4)"},
+	{"fig6", "GOES-9 thunderstorm tracking sequence (Figure 6)"},
+	{"barbs", "wind-barb accuracy vs ground truth (§5.1)"},
+	{"baselines", "estimator comparison on a two-layer cloud deck"},
+	{"postproc", "motion-field post-processing extensions (§6)"},
+	{"domains", "ocean/biology/ice application-domain scenes (§1)"},
+	{"sweep", "template-size accuracy vs modeled cost trade-off"},
+	{"track", "hoisted vs naive tracking kernel (BENCH_track.json)"},
+	{"pyramid", "coarse-to-fine pyramid vs exhaustive search (BENCH_pyramid.json)"},
+	{"scaling", "strong/weak scaling of the tiled parallel driver (BENCH_scaling.json)"},
+	{"stream", "multi-frame streaming throughput (BENCH_stream.json)"},
+	{"serve", "smaserve HTTP throughput under load (BENCH_serve.json)"},
+	{"chaos", "degraded-mode streaming under seeded faults (BENCH_chaos.json)"},
+	{"cluster", "coordinator/worker job-plane scaling (BENCH_cluster.json)"},
+	{"recovery", "coordinator crash-recovery drill (BENCH_recovery.json)"},
+	{"ablation", "neighborhood fetch and PE-memory segmentation ablations"},
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("smabench: ")
 	var (
-		only     = flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,luis,fig4,fig6,barbs,baselines,postproc,domains,sweep,ablation,track,scaling,stream,serve,chaos,cluster,recovery")
+		list     = flag.Bool("list", false, "list the registered experiments and exit")
+		only     = flag.String("only", "", "comma-separated subset of the experiment keys (-list enumerates them)")
 		size     = flag.Int("size", 64, "image size for the functional (non-modeled) experiments")
 		seed     = flag.Int64("seed", 5, "scene seed for the functional experiments")
 		report   = flag.String("report", "", "write the full experiment record as markdown to this file and exit")
@@ -36,6 +64,7 @@ func main() {
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "where the serve benchmark writes its latency trajectory point")
 		chaosOut = flag.String("chaos-out", "BENCH_chaos.json", "where the chaos experiment writes its robustness trajectory point")
 		trackOut = flag.String("track-out", "BENCH_track.json", "where the track benchmark writes its kernel-throughput trajectory point")
+		pyrOut   = flag.String("pyramid-out", "BENCH_pyramid.json", "where the pyramid benchmark writes its coarse-to-fine trajectory point")
 		scaleOut = flag.String("scaling-out", "BENCH_scaling.json", "where the scaling study writes its strong/weak trajectory point")
 		ladder   = flag.String("scaling-workers", "1,2,4,8", "comma-separated worker ladder for the scaling study")
 
@@ -49,10 +78,24 @@ func main() {
 		recoveryBin = flag.String("recovery-bin", "", "smaserve binary for the crash-recovery drill (empty = skip the drill)")
 	)
 	flag.Parse()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-10s %s\n", e.Key, e.Desc)
+		}
+		return
+	}
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.Key] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if !known[k] {
+				log.Fatalf("unknown experiment %q (run smabench -list)", k)
+			}
+			want[k] = true
 		}
 	}
 	run := func(key string) bool { return len(want) == 0 || want[key] }
@@ -231,6 +274,34 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  wrote %s\n\n", *trackOut)
+	}
+	if run("pyramid") {
+		r, err := eval.PyramidExperiment(context.Background(), *size, *workers, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Coarse-to-fine pyramid — multiresolution hypothesis search vs exhaustive sweep")
+		fmt.Printf("  %d×%d continuous-model hurricane pair, %d workers\n", r.Size, r.Size, r.Workers)
+		fmt.Printf("  %-6s %-7s %12s %12s %9s %10s %11s %9s\n",
+			"NZS", "levels", "exh hyp/px", "pyr hyp/px", "speedup", "RMSE px", "agreement", "fallback")
+		for _, pt := range r.Points {
+			fmt.Printf("  %-6d %-7d %12d %12.1f %8.2fx %10.4f %10.1f%% %8.1f%%\n",
+				pt.NZS, pt.Levels, pt.ExhaustiveHyp, pt.HypPerPixel,
+				pt.Speedup, pt.RMSE, 100*pt.Agreement, 100*pt.FallbackFrac)
+		}
+		fmt.Printf("  full-radius bit-identical to exhaustive: %v\n", r.BitIdentical)
+		fmt.Printf("  fixture RMSE vs exhaustive: fig5 %.4f px, fig6 %.4f px\n", r.Fig5RMSE, r.Fig6RMSE)
+		f, err := os.Create(*pyrOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote %s\n\n", *pyrOut)
 	}
 	if run("scaling") {
 		var counts []int

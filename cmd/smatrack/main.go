@@ -51,6 +51,10 @@ func main() {
 		nst    = flag.Int("nst", 2, "semi-fluid template radius")
 		nss    = flag.Int("nss", 1, "semi-fluid search radius (0 = continuous model)")
 		robust = flag.Bool("robust", false, "enable Huber-robust motion solve")
+
+		pyramid   = flag.Int("pyramid", 0, "coarse-to-fine pyramid levels (0/1 = exhaustive search; continuous model only)")
+		pyrRefine = flag.Int("pyramid-refine", 0, "pyramid refinement radius around each upsampled prior (0 = default)")
+
 		driver = flag.String("driver", "seq", "driver: seq|maspar")
 		pe     = flag.Int("pe", 16, "PE mesh edge for the maspar driver")
 		scheme = flag.String("scheme", "raster", "neighborhood read-out: raster|snake")
@@ -69,9 +73,13 @@ func main() {
 	)
 	flag.Parse()
 	params0 := core.Params{NS: *ns, NZS: *nzs, NZT: *nzt, NST: *nst, NSS: *nss}
+	pyrOpt := core.PyramidOptions{Levels: *pyramid, RefineRadius: *pyrRefine}
+	if pyrOpt.Enabled() && params0.SemiFluid() {
+		log.Fatal("-pyramid requires the continuous model (-nss 0)")
+	}
 	if *streamPaths != "" {
 		geo := sequence.Geometry{KmPerPixel: *kmPx, SecondsPerDt: *dtSec}
-		runStream(strings.Split(*streamPaths, ","), params0, core.Options{Robust: *robust},
+		runStream(strings.Split(*streamPaths, ","), params0, core.Options{Robust: *robust, Pyramid: pyrOpt},
 			*streamWorkers, *streamCache, geo, *verbose)
 		return
 	}
@@ -109,6 +117,22 @@ func main() {
 	var epsField *grid.Grid
 	switch *driver {
 	case "seq":
+		if pyrOpt.Enabled() {
+			prep, err := core.PreparePyramid(pair, params, pyrOpt.Levels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, st, err := core.TrackPyramidPreparedCtx(nil, prep, core.Options{Robust: *robust, Pyramid: pyrOpt}, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			flow = res.Flow
+			epsField = res.Err
+			fmt.Printf("pyramid: %d levels, %.1f hyp/px (exhaustive %d), fallback %.1f%% (%d edge, %d residual)\n",
+				st.Levels, st.HypPerPixel, st.ExhaustivePerPixel,
+				100*st.FallbackFrac, st.EdgeFallbacks, st.ResidualFallbacks)
+			break
+		}
 		res, err := core.TrackSequential(pair, params, opt)
 		if err != nil {
 			log.Fatal(err)
@@ -116,6 +140,9 @@ func main() {
 		flow = res.Flow
 		epsField = res.Err
 	case "maspar":
+		if pyrOpt.Enabled() {
+			log.Fatal("-pyramid is only supported by the seq driver")
+		}
 		fs := maspar.RasterReadout
 		if *scheme == "snake" {
 			fs = maspar.SnakeReadout

@@ -43,6 +43,10 @@ type ShardRequest struct {
 	Synthetic server.SyntheticRef `json:"synthetic"`
 	Params    server.ParamsSpec   `json:"params"`
 	Robust    bool                `json:"robust,omitempty"`
+	// Pyramid forwards the job's coarse-to-fine search spec; workers
+	// resolve it with the same server.PyramidSpec rules the coordinator
+	// validated it under, so both roles honor or reject it identically.
+	Pyramid *server.PyramidSpec `json:"pyramid,omitempty"`
 	// PairLo/PairHi bound the shard's global pair range [PairLo, PairHi).
 	PairLo int `json:"pair_lo"`
 	PairHi int `json:"pair_hi"`

@@ -277,7 +277,15 @@ func (c *Coordinator) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		c.httpError(w, http.StatusBadRequest, fmt.Sprintf("frame area %d px exceeds the serving cap %d", px, c.cfg.MaxPixels))
 		return
 	}
-	if _, err := c.resolveParams(req.Params); err != nil {
+	params, err := c.resolveParams(req.Params)
+	if err != nil {
+		c.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Validate the pyramid spec at admission with the same rules the
+	// workers apply at execution, so a bad spec is rejected up front
+	// instead of failing every shard dispatch as a permanent 4xx.
+	if _, err := req.Pyramid.Resolve(params); err != nil {
 		c.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}

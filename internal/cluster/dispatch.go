@@ -189,6 +189,7 @@ func (c *Coordinator) callShard(ctx context.Context, base, jobID string, k int, 
 		Synthetic: *req.Synthetic,
 		Params:    req.Params,
 		Robust:    req.Robust,
+		Pyramid:   req.Pyramid,
 		PairLo:    sh.Lo,
 		PairHi:    sh.Hi,
 	}

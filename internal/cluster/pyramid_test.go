@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sma/internal/server"
+)
+
+// TestClusterPyramidBitIdentity: a cluster job carrying a pyramid spec
+// must merge to the byte-identical SMP1 stream a single smaserve
+// produces for the same job, proving both roles honor the spec the same
+// way rather than one silently falling back to the exhaustive search.
+func TestClusterPyramidBitIdentity(t *testing.T) {
+	urls := []string{testWorkerNode(t).URL, testWorkerNode(t).URL}
+	_, cts := testCoordinator(t, urls, 2)
+
+	nss := 0
+	const frames = 5
+	ref := server.SyntheticRef{Scene: "hurricane", Size: 32, Seed: 17, Frames: frames}
+	req := JobRequest{}
+	req.Synthetic = &ref
+	req.Params = server.ParamsSpec{NZS: 3, NZT: 3, NSS: &nss}
+	req.Pyramid = &server.PyramidSpec{Levels: 2}
+
+	view := createClusterJob(t, cts.URL, req)
+	done := waitClusterJob(t, cts.URL, view.ID, 60*time.Second)
+	if done.Status != server.JobDone {
+		t.Fatalf("cluster pyramid job finished %s: %s", done.Status, done.Error)
+	}
+	if done.Stats.PairsTracked != frames-1 {
+		t.Fatalf("cluster tracked %d pairs, want %d", done.Stats.PairsTracked, frames-1)
+	}
+	clusterBytes := fetchResult(t, cts.URL, view.ID)
+
+	srv := server.New(server.Config{Workers: 1})
+	sts := httptest.NewServer(srv.Handler())
+	defer func() {
+		sts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server shutdown: %v", err)
+		}
+	}()
+	sbody, _ := json.Marshal(server.JobRequest{
+		Synthetic: &ref,
+		Params:    req.Params,
+		Pyramid:   req.Pyramid,
+		Retain:    true,
+	})
+	resp, err := http.Post(sts.URL+"/v1/jobs", "application/json", bytes.NewReader(sbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sview server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&sview); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		r2, err := http.Get(sts.URL + "/v1/jobs/" + sview.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v server.JobView
+		if err := json.NewDecoder(r2.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if v.Status == server.JobDone {
+			break
+		}
+		if v.Status == server.JobFailed || time.Now().After(deadline) {
+			t.Fatalf("single-node pyramid job %s: %s", v.Status, v.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	singleBytes := fetchResult(t, sts.URL, sview.ID)
+
+	if !bytes.Equal(clusterBytes, singleBytes) {
+		t.Fatalf("cluster pyramid result (%d bytes) differs from single-node result (%d bytes)",
+			len(clusterBytes), len(singleBytes))
+	}
+}
+
+// TestClusterPyramidRejection: the coordinator rejects an invalid
+// pyramid spec at admission with the same rules the workers enforce, so
+// a bad job never reaches shard dispatch.
+func TestClusterPyramidRejection(t *testing.T) {
+	urls := []string{testWorkerNode(t).URL}
+	_, cts := testCoordinator(t, urls, 2)
+	for _, body := range []string{
+		// Pyramid over the semi-fluid default params.
+		`{"synthetic":{"size":32,"frames":3},"pyramid":{"levels":2}}`,
+		// Out-of-range levels.
+		`{"synthetic":{"size":32,"frames":3},"params":{"nss":0},"pyramid":{"levels":99}}`,
+	} {
+		resp, err := http.Post(cts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}

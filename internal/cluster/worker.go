@@ -119,6 +119,14 @@ func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Resolve the forwarded pyramid spec under the same rules the
+	// coordinator accepted it with; a 400 here is permanent, so a spec
+	// the coordinator rejects is never half-honored by a worker.
+	pyr, err := req.Pyramid.Resolve(params)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), wk.cfg.ShardTimeout)
 	defer cancel()
@@ -137,7 +145,7 @@ func (wk *Worker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var streamErr error
 	st, runErr := stream.StreamCtx(ctx, src, stream.Config{
 		Params:     params,
-		Options:    core.Options{Robust: req.Robust},
+		Options:    core.Options{Robust: req.Robust, Pyramid: pyr},
 		Workers:    1, // the shard slot is the unit of concurrency
 		RowWorkers: wk.cfg.RowWorkers,
 		// Mirror the single-node job pipeline's degraded-mode posture so a

@@ -53,6 +53,17 @@ func TrackPreparedParallelCtx(ctx context.Context, prep *Prepared, sm *SemiMap, 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opt.Pyramid.Enabled() {
+		// Coarse-to-fine accelerated search (pyramid.go). Continuous
+		// model only; sm is always nil there. Requests without prepared
+		// coarse levels degrade to the exhaustive sweep inside the
+		// driver.
+		if sm != nil || prep.P.SemiFluid() {
+			return nil, fmt.Errorf("core: pyramid search requires the continuous model (NSS = 0)")
+		}
+		res, _, err := trackPyramidCtx(ctx, prep, opt, workers, false)
+		return res, err
+	}
 	w, h := prep.W, prep.H
 	res := &Result{Flow: grid.NewVectorField(w, h), Err: grid.New(w, h)}
 	if opt.KeepMotion {

@@ -55,6 +55,20 @@ func chooseTileSize(p Params, w, h, workers int) int {
 	if side < tileMinSide {
 		side = tileMinSide
 	}
+	// Degenerate-grid guard (coarse pyramid levels are as small as 8×8):
+	// when the minimum side would leave fewer tiles than workers, shrink
+	// it — down to single-pixel tiles on the tiniest grids — so every
+	// worker can claim at least one valid tile. The halo term above can
+	// drive the cache bound negative on such grids; this bound, not the
+	// cache model, is what keeps the tiling sane there.
+	tilesFor := func(s int) int {
+		return ((w + s - 1) / s) * ((h + s - 1) / s)
+	}
+	if workers > 1 {
+		for side > 1 && tilesFor(side) < workers && tilesFor(side) < w*h {
+			side--
+		}
+	}
 	return side
 }
 

@@ -69,8 +69,28 @@ func TestChooseTileSize(t *testing.T) {
 	if a, b := chooseTileSize(small, 256, 256, 1), chooseTileSize(small, 256, 256, 64); a <= b {
 		t.Fatalf("more workers should shrink the tile for balance: 1w %d, 64w %d", a, b)
 	}
-	if got := chooseTileSize(big, 4, 4, 64); got != tileMinSide {
-		t.Fatalf("tiny image should clamp to the floor %d, got %d", tileMinSide, got)
+	if got := chooseTileSize(big, 256, 256, 1); got < tileMinSide {
+		t.Fatalf("serial run should keep the floor %d, got %d", tileMinSide, got)
+	}
+	// Degenerate sizing (coarse pyramid levels): tiny grids must still
+	// yield at least min(workers, pixels) tiles so no worker idles, even
+	// when the halo term exceeds the grid — down to 1-pixel tiles.
+	for _, c := range []struct{ w, h, workers int }{
+		{8, 8, 2}, {8, 8, 4}, {8, 8, 64}, {4, 4, 64}, {16, 8, 4},
+	} {
+		side := chooseTileSize(big, c.w, c.h, c.workers)
+		if side < 1 {
+			t.Fatalf("%dx%d workers=%d: side %d underflows", c.w, c.h, c.workers, side)
+		}
+		g := newTileGrid(c.w, c.h, side, side)
+		want := c.workers
+		if px := c.w * c.h; px < want {
+			want = px
+		}
+		if g.tiles() < want {
+			t.Fatalf("%dx%d workers=%d side=%d: only %d tiles, want ≥ %d",
+				c.w, c.h, c.workers, side, g.tiles(), want)
+		}
 	}
 	// Balance bound: on a large image the chosen side leaves at least
 	// tileBalanceFactor tiles per worker.

@@ -41,6 +41,12 @@ type Options struct {
 	// (0 = the cache-model default of chooseTileSize). Tiling is pure
 	// scheduling: results are bit-identical at every tile shape.
 	TileW, TileH int
+	// Pyramid enables the coarse-to-fine multiresolution hypothesis
+	// search in the parallel driver (pyramid.go). The zero value keeps
+	// the exhaustive — and bit-exact — search, like every other default.
+	// Continuous model only; requires geometry prepared with
+	// PreparePyramid / PrepareFramePyramid.
+	Pyramid PyramidOptions
 }
 
 // tracker scores correspondence hypotheses for single pixels.

@@ -1,0 +1,226 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"sma/internal/core"
+	"sma/internal/grid"
+	"sma/internal/synth"
+)
+
+// PyramidPoint is one NZS sample of the coarse-to-fine trajectory: the
+// same prepared continuous-model pair tracked exhaustively and through
+// the pyramid driver, timed without preparation, with the accuracy of
+// the accelerated field scored against the exhaustive one.
+type PyramidPoint struct {
+	NZS    int `json:"nzs"`
+	Levels int `json:"levels"`
+	// ExhaustiveHyp is the (2·NZS+1)² per-pixel hypothesis count the flat
+	// sweep evaluates; HypPerPixel is what the pyramid actually spent.
+	ExhaustiveHyp int     `json:"exhaustive_hyp_per_pixel"`
+	HypPerPixel   float64 `json:"hyp_per_pixel"`
+	ExhaustiveSec float64 `json:"exhaustive_sec"`
+	PyramidSec    float64 `json:"pyramid_sec"`
+	// PixelsPerSec rates the two drivers on the identical pair.
+	PixelsPerSecExhaustive float64 `json:"pixels_per_sec_exhaustive"`
+	PixelsPerSecPyramid    float64 `json:"pixels_per_sec_pyramid"`
+	Speedup                float64 `json:"speedup"`
+	// RMSE is measured at the scene's wind-barb tracer pixels against the
+	// exhaustive field (grid units); Agreement is the fraction of all
+	// pixels whose argmin displacement matches exactly.
+	RMSE         float64 `json:"rmse"`
+	Agreement    float64 `json:"argmin_agreement"`
+	FallbackFrac float64 `json:"fallback_frac"`
+}
+
+// PyramidResult is the BENCH_pyramid.json trajectory: the NZS sweep plus
+// the two conformance checks the smoke gate reads — full-radius
+// bit-identity and the Figure 5/6 fixture accuracy.
+type PyramidResult struct {
+	Name    string         `json:"name"`
+	Size    int            `json:"size"`
+	Workers int            `json:"workers"`
+	Seed    int64          `json:"seed"`
+	Points  []PyramidPoint `json:"points"`
+	// BitIdentical certifies that a refinement radius covering the whole
+	// search window reproduces the exhaustive argmin bit for bit; the
+	// experiment errors if it does not.
+	BitIdentical bool `json:"bit_identical"`
+	// Fig5RMSE / Fig6RMSE score the pyramid against the exhaustive search
+	// at the wind-barb tracers of the two accuracy fixtures (hurricane
+	// and thunderstorm scenes), in grid units.
+	Fig5RMSE float64 `json:"fig5_rmse"`
+	Fig6RMSE float64 `json:"fig6_rmse"`
+	// SpeedupAtNZS10 / RMSEAtNZS10 lift the gated sample out of the sweep
+	// for the smoke script.
+	SpeedupAtNZS10 float64 `json:"speedup_at_nzs10"`
+	RMSEAtNZS10    float64 `json:"rmse_at_nzs10"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+}
+
+// pyramidLevelsFor picks the level count the cost model suggests for a
+// search radius: enough halvings that the coarsest window is ~±2, never
+// fewer than two levels (one level is just the exhaustive sweep).
+func pyramidLevelsFor(nzs int) int {
+	l := 1
+	for r := nzs; r > 2; r = (r + 1) / 2 {
+		l++
+	}
+	if l < 2 {
+		l = 2
+	}
+	return l
+}
+
+// PyramidExperiment measures the coarse-to-fine hypothesis search
+// against the exhaustive sweep on a size×size continuous-model hurricane
+// pair across NZS ∈ {2, 5, 10, 20}. The returned point doubles as a
+// conformance check: it errors if a full-covering refinement radius is
+// not bit-identical to the exhaustive search.
+func PyramidExperiment(ctx context.Context, size, workers int, seed int64) (PyramidResult, error) {
+	out := PyramidResult{Name: "pyramid", Size: size, Seed: seed}
+	if size < 32 {
+		return out, fmt.Errorf("eval: size %d too small for a multi-level pyramid", size)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out.Workers = workers
+	out.GoMaxProcs = runtime.GOMAXPROCS(0)
+
+	scene := synth.Hurricane(size, size, seed)
+	pair := core.Monocular(scene.Frame(0), scene.Frame(1))
+	pixels := int64(size) * int64(size)
+
+	for _, nzs := range []int{2, 5, 10, 20} {
+		p := core.Params{NS: 2, NZS: nzs, NZT: 3, NST: 2, NSS: 0}
+		levels := pyramidLevelsFor(nzs)
+		prep, err := core.PreparePyramid(pair, p, levels)
+		if err != nil {
+			return out, fmt.Errorf("eval: nzs %d: %w", nzs, err)
+		}
+
+		t0 := time.Now()
+		exh, err := core.TrackPreparedParallelCtx(ctx, prep, nil, core.Options{}, workers)
+		if err != nil {
+			return out, err
+		}
+		exhSec := time.Since(t0).Seconds()
+
+		opt := core.Options{Pyramid: core.PyramidOptions{Levels: levels}}
+		t1 := time.Now()
+		pyr, st, err := core.TrackPyramidPreparedCtx(ctx, prep, opt, workers)
+		if err != nil {
+			return out, err
+		}
+		pyrSec := time.Since(t1).Seconds()
+
+		pt := PyramidPoint{
+			NZS:           nzs,
+			Levels:        st.Levels,
+			ExhaustiveHyp: p.Hypotheses(),
+			HypPerPixel:   st.HypPerPixel,
+			ExhaustiveSec: exhSec,
+			PyramidSec:    pyrSec,
+			FallbackFrac:  st.FallbackFrac,
+		}
+		if exhSec > 0 {
+			pt.PixelsPerSecExhaustive = float64(pixels) / exhSec
+		}
+		if pyrSec > 0 {
+			pt.PixelsPerSecPyramid = float64(pixels) / pyrSec
+			pt.Speedup = exhSec / pyrSec
+		}
+		pt.RMSE = pyr.Flow.RMSEAt(exh.Flow, synth.Barbs(pair.I0, 32, nzs+4, 4))
+		pt.Agreement = flowAgreement(pyr.Flow, exh.Flow)
+		if nzs == 10 {
+			out.SpeedupAtNZS10 = pt.Speedup
+			out.RMSEAtNZS10 = pt.RMSE
+		}
+		out.Points = append(out.Points, pt)
+
+		// Full-covering refinement must reproduce the exhaustive argmin
+		// bit for bit — the contract the fast path is allowed to relax
+		// only when the radius is actually narrower than the window.
+		if nzs == 5 {
+			full := core.Options{Pyramid: core.PyramidOptions{
+				Levels:       levels,
+				RefineRadius: 2 * p.SearchRX(),
+			}}
+			fres, _, err := core.TrackPyramidPreparedCtx(ctx, prep, full, workers)
+			if err != nil {
+				return out, err
+			}
+			out.BitIdentical = fres.Flow.Equal(exh.Flow) && fres.Err.Equal(exh.Err)
+			if !out.BitIdentical {
+				return out, fmt.Errorf("eval: full-radius pyramid is not bit-identical to the exhaustive search")
+			}
+		}
+	}
+
+	// Figure 5/6 fixture accuracy: the hurricane and thunderstorm scenes
+	// the accuracy experiments score, pyramid vs exhaustive at the barbs.
+	fig5, err := pyramidFixtureRMSE(ctx, synth.Hurricane(64, 64, 7), 3, workers)
+	if err != nil {
+		return out, fmt.Errorf("eval: fig5 fixture: %w", err)
+	}
+	out.Fig5RMSE = fig5
+	fig6, err := pyramidFixtureRMSE(ctx, synth.Thunderstorm(64, 64, 11), 2, workers)
+	if err != nil {
+		return out, fmt.Errorf("eval: fig6 fixture: %w", err)
+	}
+	out.Fig6RMSE = fig6
+	return out, nil
+}
+
+// pyramidFixtureRMSE tracks one fixture scene with the default pyramid
+// and the exhaustive sweep and returns the barb-point RMSE between them.
+func pyramidFixtureRMSE(ctx context.Context, scene *synth.Scene, nzs, workers int) (float64, error) {
+	pair := core.Monocular(scene.Frame(0), scene.Frame(1))
+	p := core.Params{NS: 2, NZS: nzs, NZT: 3, NST: 2, NSS: 0}
+	prep, err := core.PreparePyramid(pair, p, 3)
+	if err != nil {
+		return math.NaN(), err
+	}
+	exh, err := core.TrackPreparedParallelCtx(ctx, prep, nil, core.Options{}, workers)
+	if err != nil {
+		return math.NaN(), err
+	}
+	pyr, _, err := core.TrackPyramidPreparedCtx(ctx, prep, core.Options{
+		Pyramid: core.PyramidOptions{Levels: 3},
+	}, workers)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return pyr.Flow.RMSEAt(exh.Flow, synth.Barbs(pair.I0, 32, 8, 4)), nil
+}
+
+// flowAgreement is the fraction of pixels whose displacement matches
+// exactly between the two fields.
+func flowAgreement(a, b *grid.VectorField) float64 {
+	n := len(a.U.Data)
+	if n == 0 || n != len(b.U.Data) {
+		return 0
+	}
+	same := 0
+	for i := range a.U.Data {
+		if a.U.Data[i] == b.U.Data[i] && a.V.Data[i] == b.V.Data[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(n)
+}
+
+// WriteJSON writes the trajectory as indented JSON, the
+// BENCH_pyramid.json format CI archives.
+func (r PyramidResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -201,6 +201,44 @@ func (s ParamsSpec) Resolve(def core.Params) (core.Params, error) {
 	return p, nil
 }
 
+// PyramidSpec is the wire form of core.PyramidOptions: the coarse-to-fine
+// hypothesis search of /v1/track and /v1/jobs requests. Levels <= 1 (or
+// an absent spec) keeps the exhaustive bit-exact search. Both serving
+// roles — single node and cluster coordinator/worker — resolve the spec
+// through the same code so it is honored or rejected consistently.
+type PyramidSpec struct {
+	Levels       int     `json:"levels"`
+	RefineRadius int     `json:"refine_radius,omitempty"`
+	FallbackFac  float64 `json:"fallback_factor,omitempty"`
+}
+
+// maxPyramidLevels bounds the levels a request may ask for; the driver
+// clamps to what the image size allows anyway, this only rejects
+// nonsense.
+const maxPyramidLevels = 16
+
+// Resolve validates the spec against the resolved params and returns the
+// tracker options. A nil spec resolves to the disabled zero value.
+func (s *PyramidSpec) Resolve(p core.Params) (core.PyramidOptions, error) {
+	if s == nil {
+		return core.PyramidOptions{}, nil
+	}
+	if s.Levels < 1 || s.Levels > maxPyramidLevels {
+		return core.PyramidOptions{}, fmt.Errorf("server: pyramid levels %d out of range [1, %d]", s.Levels, maxPyramidLevels)
+	}
+	if s.RefineRadius < 0 {
+		return core.PyramidOptions{}, fmt.Errorf("server: negative pyramid refine radius %d", s.RefineRadius)
+	}
+	if s.Levels > 1 && p.SemiFluid() {
+		return core.PyramidOptions{}, fmt.Errorf("server: pyramid search requires the continuous model (nss = 0)")
+	}
+	return core.PyramidOptions{
+		Levels:         s.Levels,
+		RefineRadius:   s.RefineRadius,
+		FallbackFactor: s.FallbackFac,
+	}, nil
+}
+
 // errorBody is the uniform JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`

@@ -520,7 +520,13 @@ func (s *Server) resumeJob(ctx context.Context, r *RecoveredJob) error {
 		job.retain = true
 		job.fields = s.loadFields(r.ID, r.Frames, prefix)
 	}
-	opt := core.Options{Robust: r.Req.Robust}
+	// Re-resolve the journaled pyramid spec so a resumed job searches in
+	// exactly the mode the original request was accepted with.
+	pyr, err := r.Req.Pyramid.Resolve(params)
+	if err != nil {
+		return fmt.Errorf("journaled pyramid spec: %w", err)
+	}
+	opt := core.Options{Robust: r.Req.Robust, Pyramid: pyr}
 
 	if err := s.pool.Submit(func(poolCtx context.Context) {
 		s.runJob(poolCtx, jobCtx, job, src, params, opt)

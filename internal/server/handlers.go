@@ -27,7 +27,10 @@ type TrackRequest struct {
 	Synthetic *SyntheticRef `json:"synthetic,omitempty"`
 	Params    ParamsSpec    `json:"params"`
 	Robust    bool          `json:"robust,omitempty"`
-	Format    string        `json:"format,omitempty"` // json (default) | binary
+	// Pyramid requests the coarse-to-fine accelerated search (continuous
+	// model only; absent = exhaustive bit-exact search).
+	Pyramid *PyramidSpec `json:"pyramid,omitempty"`
+	Format  string       `json:"format,omitempty"` // json (default) | binary
 }
 
 // JobRequest is the JSON form of POST /v1/jobs: an asynchronous
@@ -38,7 +41,12 @@ type JobRequest struct {
 	Synthetic *SyntheticRef `json:"synthetic"`
 	Params    ParamsSpec    `json:"params"`
 	Robust    bool          `json:"robust,omitempty"`
-	Fault     *FaultSpec    `json:"fault,omitempty"`
+	// Pyramid requests the coarse-to-fine accelerated search for every
+	// pair of the sequence (continuous model only). The spec is journaled
+	// with the job, so durable restarts and cluster shards resume with
+	// the same search mode.
+	Pyramid *PyramidSpec `json:"pyramid,omitempty"`
+	Fault   *FaultSpec   `json:"fault,omitempty"`
 	// Retain keeps each surviving pair's SMF1-encoded motion field so the
 	// finished job can be streamed back from GET /v1/jobs/{id}/result —
 	// the surface the cluster merges shards through and the bit-identity
@@ -80,7 +88,11 @@ func (s *Server) parseTrackRequest(r *http.Request) (trackInput, error) {
 		if err != nil {
 			return in, err
 		}
-		in.opt = core.Options{Robust: req.Robust}
+		pyr, err := req.Pyramid.Resolve(in.params)
+		if err != nil {
+			return in, err
+		}
+		in.opt = core.Options{Robust: req.Robust, Pyramid: pyr}
 		in.format = req.Format
 	case ct == "multipart/form-data":
 		if err := r.ParseMultipartForm(s.cfg.MaxBodyBytes); err != nil {
@@ -112,7 +124,19 @@ func (s *Server) parseTrackRequest(r *http.Request) (trackInput, error) {
 		if err != nil {
 			return in, err
 		}
-		in.opt = core.Options{Robust: r.FormValue("robust") == "true"}
+		var pspec *PyramidSpec
+		if v := r.FormValue("pyramid-levels"); v != "" {
+			levels, err := strconv.Atoi(v)
+			if err != nil {
+				return in, fmt.Errorf("bad pyramid-levels %q", v)
+			}
+			pspec = &PyramidSpec{Levels: levels, RefineRadius: formInt(r, "pyramid-refine")}
+		}
+		pyr, err := pspec.Resolve(in.params)
+		if err != nil {
+			return in, err
+		}
+		in.opt = core.Options{Robust: r.FormValue("robust") == "true", Pyramid: pyr}
 		in.format = r.FormValue("format")
 	default:
 		return in, fmt.Errorf("unsupported Content-Type %q (want application/json or multipart/form-data)", ct)
@@ -221,7 +245,13 @@ func (s *Server) runTrack(ctx context.Context, pair core.Pair, p core.Params, op
 			done <- outcome{err: err} // deadline passed while queued
 			return
 		}
-		prep, err := core.Prepare(pair, p)
+		var prep *core.Prepared
+		var err error
+		if opt.Pyramid.Enabled() {
+			prep, err = core.PreparePyramid(pair, p, opt.Pyramid.Levels)
+		} else {
+			prep, err = core.Prepare(pair, p)
+		}
 		if err != nil {
 			done <- outcome{err: err}
 			return
@@ -284,6 +314,11 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	pyr, err := req.Pyramid.Resolve(params)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	src, err := jobSource(*req.Synthetic, frames)
 	if err != nil {
 		s.httpError(w, http.StatusBadRequest, err.Error())
@@ -317,7 +352,7 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		job.retain = true
 		job.fields = make([][]byte, frames-1)
 	}
-	opt := core.Options{Robust: req.Robust}
+	opt := core.Options{Robust: req.Robust, Pyramid: pyr}
 
 	// The spec must be durable before the job is acknowledged: a crash
 	// after the 202 then finds the job in the journal and resumes it.

@@ -103,6 +103,48 @@ func TestStreamRowWorkersEquivalence(t *testing.T) {
 	}
 }
 
+// TestStreamPyramidEquivalence covers the coarse-to-fine mode end to end:
+// a streaming run with Options.Pyramid set must be bit-identical to
+// pairwise pyramid tracking over independently prepared pairs, at several
+// worker counts and with the frame cache forcing coarse-chain reuse. The
+// invalid semi-fluid + pyramid combination must be rejected up front.
+func TestStreamPyramidEquivalence(t *testing.T) {
+	const n = 4
+	frames := sceneFrames(t, synth.Hurricane(32, 32, 77), n)
+	p := core.Params{NS: 2, NZS: 3, NZT: 3}
+	opt := core.Options{Pyramid: core.PyramidOptions{Levels: 2}}
+	want := make([]*core.Result, n-1)
+	for i := 0; i+1 < n; i++ {
+		prep, err := core.PreparePyramid(core.Monocular(frames[i], frames[i+1]), p, 2)
+		if err != nil {
+			t.Fatalf("baseline pair %d: %v", i, err)
+		}
+		res, _, err := core.TrackPyramidPreparedCtx(nil, prep, opt, 1)
+		if err != nil {
+			t.Fatalf("baseline pair %d: %v", i, err)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{1, 3} {
+		label := fmt.Sprintf("pyramid/workers=%d", workers)
+		got, st, err := Run(Grids(frames), Config{
+			Params: p, Options: opt, Workers: workers, CacheSize: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		requireBitIdentical(t, label, got, want, false)
+		if st.FitsComputed != n {
+			t.Fatalf("%s: %d fits computed, want %d (coarse chains ride the cache)",
+				label, st.FitsComputed, n)
+		}
+	}
+	semi := core.Params{NS: 2, NZS: 2, NZT: 3, NST: 2, NSS: 1}
+	if _, _, err := Run(Grids(frames), Config{Params: semi, Options: opt}); err == nil {
+		t.Fatal("semi-fluid pyramid stream accepted")
+	}
+}
+
 // TestStreamCounters pins the caching arithmetic the tentpole promises:
 // N frames cost exactly N surface fits, the 2(N−1) per-pair lookups reuse
 // the cache 2(N−1)−N times, and an undersized LRU evicts N−cap entries.

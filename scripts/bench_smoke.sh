@@ -8,7 +8,7 @@ set -eu
 
 SIZE="${BENCH_SMOKE_SIZE:-48}"
 OUT="${BENCH_SMOKE_OUT:-/tmp/BENCH_track.json}"
-MIN_SPEEDUP="${BENCH_SMOKE_MIN_SPEEDUP:-2.0}"
+MIN_SPEEDUP="${BENCH_SMOKE_MIN_SPEEDUP:-2.2}"
 
 echo "== kernel microbenchmarks (short)"
 go test -run '^$' -bench 'BenchmarkScoreHyp|BenchmarkScoreReference|BenchmarkPreparePixel|BenchmarkTrackPixel' \

@@ -70,6 +70,13 @@ sh scripts/bench_smoke.sh || fail=1
 echo "== scaling smoke"
 sh scripts/scaling_smoke.sh || fail=1
 
+# The coarse-to-fine gate (docs/PERFORMANCE.md §9): the pyramid search
+# must stay bit-identical to the exhaustive sweep at full refinement
+# radius, beat it 3x in hypothesis work at NZS=10, and hold the fixture
+# fields within 0.1 grid units.
+echo "== pyramid smoke"
+sh scripts/pyramid_smoke.sh || fail=1
+
 echo "== stream throughput smoke"
 go run ./cmd/smabench -only stream -size 32 -frames 4 \
     -bench-out /tmp/BENCH_stream.json || fail=1
